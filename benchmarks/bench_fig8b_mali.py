@@ -1,0 +1,83 @@
+"""Fig 8 b: C2D and depthwise conv on Mali G76 dot units vs AutoTVM.
+
+Runs the seven MobileNet-V2 layer shapes (pointwise conv + depthwise
+pairs) on the simulated Mali G76.  The AutoTVM-for-Bifrost baseline has a
+hand-written template that (a) uses a fixed mapping for C2D and (b) fails
+with internal errors on three of the depthwise layers, as the paper
+observed; failed layers are charged nothing and reported as 0 GOPS.
+Paper headline: AMOS wins every layer, up to 25x where AutoTVM breaks.
+"""
+
+from repro.baselines.fixed_mappings import FixedMappingCompiler
+from repro.compiler import amos_compile
+from repro.explore.tuner import TunerConfig
+from repro.frontends.workloads import MOBILENET_V2_LAYERS
+from repro.model import get_hardware
+
+from bench_utils import SWEEP_CONFIG, geomean, write_table
+
+#: Depthwise layers AutoTVM's Bifrost template crashes on (paper Sec 7.5
+#: observed internal errors on layers 2, 3 and 4).
+AUTOTVM_FAILED_DEP_LAYERS = {"L2", "L3", "L4"}
+
+#: AutoTVM's Mali template: lanes = output channels, reduce = input
+#: channels; depthwise uses the per-lane SIMD arrangement.
+MALI_CONV_SPEC = {"i1": frozenset({"k"}), "r1": frozenset({"c"})}
+MALI_DEP_SPEC = {"i1": frozenset({"k"}), "r1": frozenset({"r", "s"})}
+
+
+def make_autotvm_mali():
+    return FixedMappingCompiler(
+        "autotvm_mali",
+        (MALI_CONV_SPEC, MALI_DEP_SPEC),
+        scalar_efficiency=0.35,
+        tuner_config=TunerConfig(
+            population=10, generations=3, measure_top=8, refine_rounds=1
+        ),
+    )
+
+
+def run_sweep():
+    hw = get_hardware("mali_g76")
+    autotvm = make_autotvm_mali()
+    rows = []
+    for layer in MOBILENET_V2_LAYERS:
+        for kind, comp in (("conv", layer.pointwise()), ("dep", layer.depthwise())):
+            ours = amos_compile(comp, hw, SWEEP_CONFIG)
+            gops_amos = comp.flop_count() / (ours.latency_us * 1e-6) / 1e9
+            failed = kind == "dep" and layer.name in AUTOTVM_FAILED_DEP_LAYERS
+            if failed:
+                gops_tvm = 0.0
+            else:
+                theirs = autotvm.compile(comp, hw)
+                gops_tvm = comp.flop_count() / (theirs.latency_us * 1e-6) / 1e9
+            rows.append((layer.name, kind, gops_amos, gops_tvm, failed))
+    return rows
+
+
+def test_report_fig8b(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = ["fig8b: absolute GOPS on Mali G76 (AMOS vs AutoTVM template)"]
+    ratios = []
+    for name, kind, gops_amos, gops_tvm, failed in rows:
+        tag = "  [autotvm: internal error]" if failed else ""
+        lines.append(
+            f"  {name:3} {kind:4} amos {gops_amos:8.1f} GOPS  "
+            f"autotvm {gops_tvm:8.1f} GOPS{tag}"
+        )
+        if gops_tvm > 0:
+            ratios.append(gops_amos / gops_tvm)
+    max_ratio = max(
+        (r[2] / r[3]) if r[3] > 0 else float("inf") for r in rows
+    )
+    lines.append(f"geomean speedup on non-failing layers: {geomean(ratios):.2f}x")
+    lines.append("paper: up to 25.04x (AutoTVM fails 3 depthwise layers)")
+    write_table("fig8b_mali", lines)
+
+    # Shape: AMOS never loses, the failed layers make the worst-case gap
+    # unbounded, and even on succeeding layers AMOS wins on average.
+    assert all(
+        gops_amos >= gops_tvm * 0.95 for _, _, gops_amos, gops_tvm, _ in rows
+    )
+    assert geomean(ratios) > 1.0
+    assert sum(1 for r in rows if r[4]) == 3

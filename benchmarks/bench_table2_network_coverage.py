@@ -1,0 +1,61 @@
+"""Table 2: Tensor-Core operator coverage — XLA patterns vs AMOS.
+
+For every DNN the paper profiles, counts the total operators, the
+operators XLA's rigid patterns route to Tensor Core, and the operators
+AMOS's mapping generator can map.  The qualitative claim under test: AMOS
+maps several times more operators than XLA on every network, and the gap
+is largest for the depthwise/grouped/matrix-vector networks (ShuffleNet,
+MI-LSTM).
+"""
+
+from repro.baselines.xla_patterns import AmosCoverage, XlaPatternMatcher
+from repro.frontends.networks import NETWORKS
+
+from bench_utils import write_table
+
+#: Paper Table 2: network -> (total ops, XLA mapped, AMOS mapped).
+PAPER = {
+    "shufflenet": (70, 6, 50),
+    "resnet50": (71, 15, 54),
+    "mobilenet_v1": (30, 7, 29),
+    "bert_base": (204, 42, 84),
+    "mi_lstm": (11, 0, 9),
+}
+
+
+def compute_coverage():
+    xla = XlaPatternMatcher()
+    amos = AmosCoverage()
+    rows = {}
+    for name in PAPER:
+        ops = NETWORKS[name]
+        rows[name] = (xla.coverage(name, ops), amos.coverage(name, ops))
+    return rows
+
+
+def test_report_table2(benchmark):
+    rows = benchmark.pedantic(compute_coverage, rounds=1, iterations=1)
+    lines = [
+        f"{'network':14} {'total':>6} {'xla':>5} {'amos':>5}   "
+        f"(paper: total/xla/amos)"
+    ]
+    for name, (xla_rep, amos_rep) in rows.items():
+        p_total, p_xla, p_amos = PAPER[name]
+        lines.append(
+            f"{name:14} {xla_rep.total_ops:>6} {xla_rep.mapped_ops:>5} "
+            f"{amos_rep.mapped_ops:>5}   ({p_total}/{p_xla}/{p_amos})"
+        )
+    write_table("table2_network_coverage", lines)
+
+    for name, (xla_rep, amos_rep) in rows.items():
+        # AMOS must dominate XLA on every network.
+        assert amos_rep.mapped_ops > xla_rep.mapped_ops, name
+        # MI-LSTM: XLA maps nothing (all linears are matrix-vector).
+        if name == "mi_lstm":
+            assert xla_rep.mapped_ops == 0
+            assert amos_rep.mapped_ops >= 8
+        # ShuffleNet: the XLA-mapped fraction stays tiny, AMOS covers the
+        # majority of the tensor ops.
+        if name == "shufflenet":
+            assert xla_rep.mapped_fraction < 0.2
+            assert amos_rep.mapped_fraction > 0.6

@@ -1,0 +1,52 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every ``bench_*`` module regenerates one table or figure of the paper:
+it computes the rows, writes them to ``benchmarks/results/<id>.txt``,
+prints them, asserts the qualitative claims of the paper (who wins, by
+roughly what factor), and registers one pytest-benchmark timing for the
+experiment's core computation.
+"""
+
+from __future__ import annotations
+
+import math
+import pathlib
+
+import pytest
+
+from repro.explore.tuner import TunerConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Exploration budget for the experiment sweeps: AMOS uses its full
+#: default budget; the fixed-mapping baselines use the same Tuner with the
+#: budgets configured in repro.baselines (never larger than this one).
+SWEEP_CONFIG = TunerConfig()
+
+#: Reduced budget for the wide network sweeps.
+FAST_CONFIG = TunerConfig(
+    population=10, generations=3, measure_top=10,
+    prefilter_mappings=8, refine_rounds=2, refine_neighbors=8,
+)
+
+
+def geomean(values) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def write_table(experiment_id: str, lines: list[str]) -> None:
+    """Persist and print one experiment's output table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+    print(f"\n===== {experiment_id} =====")
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,5 @@
+"""Pytest configuration for the benchmark directory.
+
+Shared helpers live in :mod:`bench_utils` (a plain module rather than the
+conftest, so `pytest tests/ benchmarks/` in one invocation cannot collide
+with the test suite's conftest)."""

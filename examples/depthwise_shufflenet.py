@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Mapping the operators hand-tuned libraries cannot tensorise.
+
+The paper's motivating workloads (Table 2) are ShuffleNet-style networks
+full of depthwise and grouped convolutions.  Libraries leave those on the
+scalar units because their fixed im2col mapping does not apply; AMOS maps
+them through *diagonal* mappings — the shared channel iteration goes to a
+spatial AND a reduce intrinsic iteration simultaneously, realising
+depthwise conv as matmul with a diagonalised weight tile.
+
+This example:
+1. shows the diagonal mapping AMOS generates for a depthwise conv,
+2. verifies its functional correctness against a direct reference,
+3. compares AMOS vs the library backend on ShuffleNet's building blocks,
+4. evaluates the whole ShuffleNet graph end to end.
+
+Run with:  python examples/depthwise_shufflenet.py
+"""
+
+import numpy as np
+
+from repro import (
+    amos_compile,
+    enumerate_mappings,
+    evaluate_network,
+    execute_mapping,
+    get_hardware,
+    get_intrinsic,
+    get_network,
+    lower_to_physical,
+    make_operator,
+    operator_feeds,
+)
+from repro.baselines import LibraryBackend
+from repro.evaluation import AmosBackend
+from repro.explore.tuner import TunerConfig
+
+FAST = TunerConfig(population=12, generations=4, measure_top=12, refine_rounds=2)
+
+
+def show_diagonal_mapping() -> None:
+    dep = make_operator("DEP", n=1, k=8, h=4, w=4)
+    tensor_core = get_intrinsic("wmma_m16n16k16_f16")
+    mappings = enumerate_mappings(dep, tensor_core)
+    diagonal = next(m for m in mappings if m.matching.diagonal_columns())
+    print("a diagonal mapping for depthwise convolution:")
+    print("  ", diagonal.describe())
+    print("   (k occupies i2 and r1 simultaneously; the weight tile is")
+    print("    diagonal, off-diagonal slots are zero-filled)")
+
+    feeds = operator_feeds(dep, np.random.default_rng(0))
+    result = execute_mapping(lower_to_physical(diagonal), feeds)
+    assert np.allclose(result, dep.reference(feeds), atol=1e-9)
+    print("   functional check passed\n")
+
+
+def compare_building_blocks() -> None:
+    hw = get_hardware("v100")
+    library = LibraryBackend()
+    blocks = {
+        "1x1 group conv": make_operator(
+            "GRP", n=1, groups=8, c_per_group=48, k_per_group=12, h=28, w=28, r=1, s=1
+        ),
+        "3x3 depthwise": make_operator("DEP", n=1, k=96, h=28, w=28),
+    }
+    print("ShuffleNet building blocks on the simulated V100:")
+    for name, comp in blocks.items():
+        ours = amos_compile(comp, hw, FAST)
+        theirs = library.compile(comp, hw)
+        print(
+            f"  {name:16} amos {ours.latency_us:7.1f} us "
+            f"(tensorised: {ours.used_intrinsics})  "
+            f"library {theirs.latency_us:7.1f} us "
+            f"(tensorised: {theirs.used_intrinsics})  "
+            f"speedup {theirs.latency_us / ours.latency_us:.2f}x"
+        )
+    print()
+
+
+def evaluate_shufflenet() -> None:
+    hw = get_hardware("v100")
+    ops = get_network("shufflenet")
+    ours = evaluate_network("shufflenet", ops, AmosBackend(config=FAST), hw)
+    theirs = evaluate_network("shufflenet", ops, LibraryBackend(), hw)
+    print("ShuffleNet end to end (batch 1, simulated V100):")
+    print(
+        f"  amos:    {ours.total_us / 1e3:7.2f} ms, "
+        f"{ours.mapped_ops}/{ours.tensor_ops} tensor ops on Tensor Core"
+    )
+    print(
+        f"  library: {theirs.total_us / 1e3:7.2f} ms, "
+        f"{theirs.mapped_ops}/{theirs.tensor_ops} tensor ops on Tensor Core"
+    )
+    print(f"  speedup: {theirs.total_us / ours.total_us:.2f}x")
+
+
+if __name__ == "__main__":
+    show_diagonal_mapping()
+    compare_building_blocks()
+    evaluate_shufflenet()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment ships setuptools 65 without the ``wheel`` package and has
+no network access, so PEP-517 editable installs (``pip install -e .``)
+cannot build a wheel.  ``python setup.py develop`` installs an egg-link
+editable checkout instead; metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

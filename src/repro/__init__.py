@@ -1,0 +1,89 @@
+"""repro — a reproduction of AMOS (ISCA 2022).
+
+AMOS is an automatic compilation framework for spatial hardware
+accelerators built on a *hardware abstraction*: intrinsics are rewritten
+as analyzable scalar programs, mappings from software iterations to
+intrinsic iterations are generated and validated automatically, and the
+joint mapping x schedule space is explored with a performance model and a
+genetic tuner.
+
+Quick start::
+
+    from repro import amos_compile, make_operator
+
+    conv = make_operator("C2D", n=16, c=64, k=64, h=56, w=56, r=3, s=3)
+    kernel = amos_compile(conv, "v100")
+    print(kernel.scheduled.physical.compute.describe())
+    print(f"{kernel.gflops():.0f} simulated GFLOP/s")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-reproduction results of every table and figure.
+"""
+
+from repro.compiler import CompiledKernel, amos_compile
+from repro.evaluation import AmosBackend, evaluate_network, NetworkResult
+from repro.explore.tuner import ExplorationResult, Tuner, TunerConfig
+from repro.frontends.operators import make_operator, operator_feeds
+from repro.frontends.networks import NETWORKS, get_network
+from repro.ir import (
+    ReduceComputation,
+    Tensor,
+    compute,
+    reduce_axis,
+    spatial_axis,
+)
+from repro.isa import (
+    Intrinsic,
+    get_intrinsic,
+    intrinsics_for_target,
+    list_intrinsics,
+    register_intrinsic,
+)
+from repro.mapping import (
+    ComputeMapping,
+    enumerate_mappings,
+    lower_to_physical,
+    validate_mapping,
+)
+from repro.model import HardwareParams, get_hardware, list_hardware
+from repro.schedule import Schedule, default_schedule, lower_schedule
+from repro.sim import execute_mapping, simulate_cycles
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AmosBackend",
+    "CompiledKernel",
+    "ComputeMapping",
+    "ExplorationResult",
+    "HardwareParams",
+    "Intrinsic",
+    "NETWORKS",
+    "NetworkResult",
+    "ReduceComputation",
+    "Schedule",
+    "Tensor",
+    "Tuner",
+    "TunerConfig",
+    "amos_compile",
+    "compute",
+    "default_schedule",
+    "enumerate_mappings",
+    "evaluate_network",
+    "execute_mapping",
+    "get_hardware",
+    "get_intrinsic",
+    "get_network",
+    "intrinsics_for_target",
+    "list_hardware",
+    "list_intrinsics",
+    "lower_schedule",
+    "lower_to_physical",
+    "make_operator",
+    "operator_feeds",
+    "reduce_axis",
+    "register_intrinsic",
+    "simulate_cycles",
+    "spatial_axis",
+    "validate_mapping",
+]

@@ -1,0 +1,32 @@
+"""Baseline compilers and libraries the paper compares against.
+
+All baselines run on the *same* simulator substrate as AMOS; they differ
+only in what the paper identifies as their real-world limitations:
+
+* :mod:`repro.baselines.library` — hand-optimised libraries (PyTorch via
+  CuDNN/CuBLAS): one fixed mapping per supported operator class, scalar
+  fallback elsewhere;
+* :mod:`repro.baselines.fixed_mappings` — template compilers (UNIT,
+  AutoTVM, Ansor, AKG and the AMOS-fixM1/fixM2 ablations): fixed mapping,
+  schedule tuning equal to AMOS's;
+* :mod:`repro.baselines.xla_patterns` — XLA-style rigid graph pattern
+  matching (Table 2).
+"""
+
+from repro.baselines.library import LibraryBackend
+from repro.baselines.fixed_mappings import (
+    FixedMappingCompiler,
+    ScalarCompiler,
+    make_baseline,
+    BASELINE_FACTORIES,
+)
+from repro.baselines.xla_patterns import XlaPatternMatcher
+
+__all__ = [
+    "BASELINE_FACTORIES",
+    "FixedMappingCompiler",
+    "LibraryBackend",
+    "ScalarCompiler",
+    "XlaPatternMatcher",
+    "make_baseline",
+]

@@ -1,0 +1,97 @@
+"""Hand-optimised library backend (the "PyTorch" bars of Fig 6/7).
+
+PyTorch dispatches to CuDNN/CuBLAS/CUTLASS kernels.  Those libraries
+embody two properties the paper exploits:
+
+* for the operator classes they cover (GEMM, dense convolutions) they use
+  a *fixed* mapping — im2col for convolutions — with kernels tuned over
+  many years (modelled as AMOS's tuner restricted to the im2col mapping,
+  with a small hand-tuning bonus for GEMM, where decades of assembly work
+  make libraries essentially optimal);
+* every other operator (depthwise/grouped/capsule/batched convolution,
+  matrix-vector at batch 1, reductions) misses the Tensor Core paths and
+  runs scalar CUDA-core kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.fixed_mappings import (
+    GEMM_SPEC,
+    IM2COL_SPEC,
+    find_mapping,
+)
+from repro.compiler import CompiledKernel
+from repro.explore.tuner import Tuner, TunerConfig
+from repro.frontends.operators import operator_traffic_bytes
+from repro.ir.compute import ReduceComputation
+from repro.isa.registry import intrinsics_for_target
+from repro.mapping.generation import enumerate_mappings
+from repro.mapping.physical import lower_to_physical
+from repro.model.hardware_params import HardwareParams
+from repro.sim.timing import simulate_scalar_fallback
+
+#: Operator names the library routes to intrinsic kernels.
+_LIBRARY_TENSOR_OPS = {"gemm", "conv2d", "conv1d", "conv3d", "scan"}
+
+#: Libraries' scalar kernels run in fp32 at moderate efficiency; for the
+#: exotic operator classes (depthwise/grouped/capsule/batched conv) the
+#: kernels are generic and land well below the bandwidth roofline —
+#: exactly the inefficiency Table 2 and Fig 6 attribute to hand-tuned
+#: libraries on unusual shapes.
+_LIBRARY_SCALAR_EFFICIENCY = 0.5
+_LIBRARY_SCALAR_MEMORY_EFFICIENCY = 0.4
+_LIBRARY_SCALAR_ELEMENT_BYTES = 4  # fp32 fallback kernels
+_FRAMEWORK_OVERHEAD_US = 8.0  # dispatcher + kernel selection
+
+#: Hand-tuned GEMM kernels squeeze slightly more than a generic tuner.
+_GEMM_HAND_TUNING = 0.92
+
+
+@dataclass
+class LibraryBackend:
+    """CuDNN/CuBLAS-like library running on the simulator.
+
+    GEMM gets the full tuning budget plus a hand-tuning bonus (CuBLAS is
+    effectively optimal); convolutions use a *small* budget over the fixed
+    im2col mapping, standing in for CuDNN's catalog of pre-built kernels —
+    close to good for common shapes, never shape-specialised.
+    """
+
+    name: str = "pytorch"
+    gemm_config: TunerConfig = field(
+        default_factory=lambda: TunerConfig(population=24, generations=8, measure_top=16)
+    )
+    conv_config: TunerConfig = field(
+        default_factory=lambda: TunerConfig(
+            population=6, generations=2, measure_top=2,
+            refine_rounds=0, seed=7,
+        )
+    )
+
+    def compile(self, comp: ReduceComputation, hw: HardwareParams) -> CompiledKernel:
+        if comp.name in _LIBRARY_TENSOR_OPS:
+            is_gemm_like = comp.name in ("gemm", "scan")
+            for intrinsic in intrinsics_for_target(hw.target):
+                mappings = enumerate_mappings(comp, intrinsic)
+                for spec in (GEMM_SPEC, IM2COL_SPEC):
+                    mapping = find_mapping(comp, mappings, spec)
+                    if mapping is None:
+                        continue
+                    config = self.gemm_config if is_gemm_like else self.conv_config
+                    tuner = Tuner(hw, config)
+                    result = tuner.tune(comp, [lower_to_physical(mapping)])
+                    latency = result.best_us
+                    if is_gemm_like:
+                        latency *= _GEMM_HAND_TUNING
+                    return CompiledKernel(comp, result.best, latency, True, 1)
+        latency = simulate_scalar_fallback(
+            comp.flop_count(),
+            operator_traffic_bytes(comp, _LIBRARY_SCALAR_ELEMENT_BYTES),
+            hw,
+            efficiency=_LIBRARY_SCALAR_EFFICIENCY,
+            memory_efficiency=_LIBRARY_SCALAR_MEMORY_EFFICIENCY,
+            overhead_us=hw.launch_overhead_us + _FRAMEWORK_OVERHEAD_US,
+        )
+        return CompiledKernel(comp, None, latency, False, 0)

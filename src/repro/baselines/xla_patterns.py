@@ -1,0 +1,114 @@
+"""XLA-style rigid pattern matching over network graphs (paper Table 2).
+
+XLA lowers an operator to Tensor Core only when it matches one of a small
+set of hand-written patterns; the matched ops go to library kernels and
+everything else falls back to scalar CUDA-core code.  The rules below
+capture the failure modes the paper calls out explicitly:
+
+* depthwise / grouped / batched convolutions never match (the pattern
+  expects a dense ``NCHW x KCRS`` contraction),
+* strided convolutions fail (address generation in the template assumes
+  unit stride),
+* small-channel convolutions fail (fragments would be mostly padding),
+* batch-1 linear layers are matrix-*vector* products and miss the GEMM
+  pattern (the MI-LSTM case).
+
+The AMOS side of Table 2 is *computed*, not modelled: an operator counts
+as mapped when the mapping generator finds at least one valid mapping on
+the target's intrinsics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontends.networks import NetworkOp, expand_ops
+from repro.ir.compute import ReduceComputation
+from repro.isa.registry import intrinsics_for_target
+from repro.mapping.generation import enumerate_mappings
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Tensor-Core coverage of one network for one compiler."""
+
+    network: str
+    total_ops: int
+    mapped_ops: int
+
+    @property
+    def mapped_fraction(self) -> float:
+        return self.mapped_ops / self.total_ops if self.total_ops else 0.0
+
+
+class XlaPatternMatcher:
+    """Decides, per operator, whether XLA's patterns map it to Tensor Core."""
+
+    name = "xla"
+
+    def matches(self, op: NetworkOp) -> bool:
+        if not op.is_tensor_op:
+            return False
+        params = op.params
+        if op.kind == "GMM":
+            # GEMM pattern: the contraction and output-column dimensions
+            # must fill fragments comfortably; the small per-head
+            # attention matmuls (paper: "part of attention") fall out.
+            return (
+                params["m"] >= 8 and params["n"] >= 256 and params["k"] >= 256
+            )
+        if op.kind == "C2D":
+            # Convolution pattern: dense, unit stride/dilation, square
+            # kernel, fragment-filling channels; 1x1 convolutions only
+            # qualify when the reduction alone fills the fragments
+            # (otherwise the im2col template's inner dimension is mostly
+            # padding and the pattern is rejected).
+            r, s = params.get("r", 3), params.get("s", 3)
+            deep_enough = r > 1 or params["c"] >= 256
+            return (
+                params.get("stride", 1) == 1
+                and params.get("dilation", 1) == 1
+                and r == s
+                and params["c"] >= 16
+                and params["k"] >= 16
+                and deep_enough
+            )
+        # GMV (batch-1 linears), DEP, GRP, DIL, BCV, T2D, CAP, GFC,
+        # MEN/VAR/SCN: no pattern matches.
+        return False
+
+    def coverage(self, name: str, ops: list[NetworkOp]) -> CoverageReport:
+        expanded = list(expand_ops(ops))
+        mapped = sum(1 for op in expanded if self.matches(op))
+        return CoverageReport(name, len(expanded), mapped)
+
+
+class AmosCoverage:
+    """AMOS's coverage: computed from the mapping generator."""
+
+    name = "amos"
+
+    def __init__(self, target: str = "tensorcore", batch: int = 1):
+        self.target = target
+        self.batch = batch
+        self._cache: dict[str, bool] = {}
+
+    def mappable(self, op: NetworkOp) -> bool:
+        if not op.is_tensor_op:
+            return False
+        key = f"{op.kind}|{sorted(op.params.items())}"
+        if key not in self._cache:
+            comp = op.computation(self.batch)
+            self._cache[key] = self._has_mapping(comp)
+        return self._cache[key]
+
+    def _has_mapping(self, comp: ReduceComputation) -> bool:
+        for intrinsic in intrinsics_for_target(self.target):
+            if enumerate_mappings(comp, intrinsic):
+                return True
+        return False
+
+    def coverage(self, name: str, ops: list[NetworkOp]) -> CoverageReport:
+        expanded = list(expand_ops(ops))
+        mapped = sum(1 for op in expanded if self.mappable(op))
+        return CoverageReport(name, len(expanded), mapped)

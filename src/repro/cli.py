@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``list-intrinsics [--target T]`` — registered hardware abstractions.
+* ``list-hardware`` — simulated devices.
+* ``mappings OP [--intrinsic I] [--params k=v ...]`` — enumerate and print
+  the valid mappings of an operator (Table 6 style).
+* ``compile OP --hardware HW [--params k=v ...] [--source]`` — run the
+  full pipeline and report the chosen mapping/schedule and simulated
+  performance.
+* ``network NAME --hardware HW [--batch N] [--baseline pytorch]`` —
+  end-to-end network evaluation, optionally against a baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.compiler import amos_compile
+from repro.evaluation import AmosBackend, evaluate_network
+from repro.explore.tuner import TunerConfig
+from repro.frontends.networks import get_network, NETWORKS
+from repro.frontends.operators import OPERATOR_BUILDERS, make_operator
+from repro.isa import get_intrinsic, intrinsics_for_target, list_intrinsics
+from repro.mapping.generation import enumerate_mappings
+from repro.mapping.physical import lower_to_physical
+from repro.model import get_hardware, list_hardware
+
+
+def _parse_params(pairs: Sequence[str]) -> dict[str, int]:
+    params: dict[str, int] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"bad --params entry {pair!r}; expected k=v")
+        key, value = pair.split("=", 1)
+        try:
+            params[key] = int(value)
+        except ValueError:
+            raise SystemExit(f"parameter {key} must be an integer, got {value!r}")
+    return params
+
+
+def _cmd_list_intrinsics(args) -> int:
+    if args.target:
+        intrinsics = intrinsics_for_target(args.target)
+    else:
+        intrinsics = [get_intrinsic(name) for name in list_intrinsics()]
+    for intr in intrinsics:
+        dims = "x".join(str(d) for d in intr.problem_size)
+        print(f"{intr.name:24} target={intr.target:12} size={dims:12} {intr.description}")
+    return 0
+
+
+def _cmd_list_hardware(args) -> int:
+    for name in list_hardware():
+        hw = get_hardware(name)
+        print(
+            f"{name:12} target={hw.target:12} cores={hw.num_cores:<4} "
+            f"peak {hw.peak_intrinsic_flops / 1e12:7.1f} TFLOP/s "
+            f"bw {hw.global_bandwidth_gbs:7.1f} GB/s"
+        )
+    return 0
+
+
+def _cmd_mappings(args) -> int:
+    comp = make_operator(args.operator, **_parse_params(args.params))
+    if args.intrinsic:
+        intrinsics = [get_intrinsic(args.intrinsic)]
+    else:
+        intrinsics = intrinsics_for_target(args.target)
+    total = 0
+    for intr in intrinsics:
+        mappings = enumerate_mappings(comp, intr)
+        total += len(mappings)
+        print(f"{intr.name}: {len(mappings)} valid mappings")
+        for mapping in mappings[: args.limit]:
+            physical = lower_to_physical(mapping)
+            print(f"  {mapping.describe()}  (utilization {physical.utilization():.2f})")
+        if len(mappings) > args.limit:
+            print(f"  ... {len(mappings) - args.limit} more")
+    print(f"total: {total}")
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    comp = make_operator(args.operator, **_parse_params(args.params))
+    config = TunerConfig(seed=args.seed)
+    kernel = amos_compile(comp, args.hardware, config, emit_source=args.source)
+    print(f"operator: {comp.name} ({comp.flop_count() / 1e9:.3f} GFLOPs)")
+    if kernel.used_intrinsics:
+        print(f"mapping: {kernel.scheduled.physical.compute.describe()}")
+        print(f"schedule: {kernel.scheduled.schedule.describe()}")
+    else:
+        print("no valid mapping: scalar fallback path")
+    print(f"simulated latency: {kernel.latency_us:.2f} us ({kernel.gflops():.1f} GFLOP/s)")
+    if args.source and kernel.source:
+        print("\n" + kernel.source)
+    return 0
+
+
+def _cmd_network(args) -> int:
+    hw = get_hardware(args.hardware)
+    ops = get_network(args.network)
+    backend = AmosBackend(config=TunerConfig(seed=args.seed))
+    result = evaluate_network(args.network, ops, backend, hw, batch=args.batch)
+    print(
+        f"{args.network} on {args.hardware} (batch {args.batch}): "
+        f"{result.total_us / 1e3:.3f} ms "
+        f"({result.mapped_ops}/{result.tensor_ops} tensor ops mapped)"
+    )
+    if args.baseline:
+        from repro.baselines import LibraryBackend, make_baseline
+
+        if args.baseline == "pytorch":
+            base = LibraryBackend()
+        else:
+            base = make_baseline(args.baseline)
+        theirs = evaluate_network(args.network, ops, base, hw, batch=args.batch)
+        print(
+            f"{args.baseline}: {theirs.total_us / 1e3:.3f} ms "
+            f"-> speedup {theirs.total_us / result.total_us:.2f}x"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="AMOS reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list-intrinsics", help="registered hardware abstractions")
+    p.add_argument("--target", help="restrict to one hardware family")
+    p.set_defaults(func=_cmd_list_intrinsics)
+
+    p = sub.add_parser("list-hardware", help="simulated devices")
+    p.set_defaults(func=_cmd_list_hardware)
+
+    p = sub.add_parser("mappings", help="enumerate valid mappings of an operator")
+    p.add_argument("operator", choices=sorted(OPERATOR_BUILDERS))
+    p.add_argument("--intrinsic", help="one intrinsic name")
+    p.add_argument("--target", default="tensorcore")
+    p.add_argument("--params", nargs="*", default=[], metavar="k=v")
+    p.add_argument("--limit", type=int, default=5)
+    p.set_defaults(func=_cmd_mappings)
+
+    p = sub.add_parser("compile", help="compile one operator")
+    p.add_argument("operator", choices=sorted(OPERATOR_BUILDERS))
+    p.add_argument("--hardware", default="v100", choices=list_hardware())
+    p.add_argument("--params", nargs="*", default=[], metavar="k=v")
+    p.add_argument("--source", action="store_true", help="emit kernel source")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("network", help="evaluate a network end to end")
+    p.add_argument("network", choices=sorted(NETWORKS))
+    p.add_argument("--hardware", default="v100", choices=list_hardware())
+    p.add_argument("--batch", type=int, default=1)
+    p.add_argument("--baseline", help="compare against a baseline backend")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_network)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Code generation: render lowered programs as kernel source text."""
+
+from repro.codegen.cuda_like import emit_kernel
+from repro.codegen.c_like import emit_c_kernel
+
+__all__ = ["emit_c_kernel", "emit_kernel"]

@@ -1,0 +1,63 @@
+"""C-like kernel emission for CPU (AVX-512) and Mali (OpenCL-ish) targets.
+
+Targets whose intrinsics read registers directly (no shared staging) get a
+flat tiled loop nest with the vector intrinsic in the innermost position.
+"""
+
+from __future__ import annotations
+
+from repro.lower.lower import lower_mapping
+from repro.model.hardware_params import HardwareParams
+from repro.schedule.lowering import ScheduledMapping
+
+_INTRINSIC_SYNTAX = {
+    "avx512": "_mm512_dpbusds_epi32(acc, a_vec, b_vec)",
+    "mali": "arm_dot(acc, a_vec, b_vec)",
+    "axpy_accel": "vaxpy(acc, x_vec, alpha)",
+    "gemv_accel": "vgemv(acc, mat_tile, x_vec)",
+    "conv_accel": "vconv(acc, act_tile, wgt_tile)",
+}
+
+
+def emit_c_kernel(sched: ScheduledMapping, hw: HardwareParams) -> str:
+    """Emit C-like source for one scheduled mapping."""
+    program = lower_mapping(sched)
+    physical = sched.physical
+    comp = physical.computation
+    intr = physical.intrinsic
+
+    lines: list[str] = []
+    emit = lines.append
+    emit(f"// {comp.name} mapped to {intr.name} on {hw.name}")
+    emit(f"// compute mapping: {physical.compute.describe()}")
+    emit(f"// schedule: {sched.schedule.describe()}")
+    args = ", ".join(f"const {intr.in_dtype}* {t.name}" for t in comp.input_tensors)
+    emit(f"void {comp.name}_kernel({args}, {intr.out_dtype}* {comp.output.tensor.name}) {{")
+
+    indent = "  "
+    depth = 1
+    emit(f"{indent}#pragma omp parallel for collapse({max(1, len(sched.spatial_dims))})")
+    for dim in sched.spatial_dims:
+        pad = indent * depth
+        emit(f"{pad}for (int {dim.name} = 0; {dim.name} < {dim.extent}; ++{dim.name}) {{")
+        depth += 1
+    pad = indent * depth
+    emit(f"{pad}{intr.out_dtype} acc[{intr.compute.operand_shape(intr.operand_names[0])[0]}] = {{0}};")
+    emit(f"{pad}for (int k_outer = 0; k_outer < {sched.reduce_tile_count}; ++k_outer) {{")
+    depth += 1
+    pad = indent * depth
+    for node in program.memory_nodes:
+        if node.scope.value == "reg":
+            operand = node.dst.tensor.name.split(".")[-1]
+            emit(f"{pad}// load {operand}: base = {node.src!r}")
+    syntax = _INTRINSIC_SYNTAX.get(intr.target, f"{intr.name}(acc, ...)")
+    emit(f"{pad}acc = {syntax};  // {program.compute_node.intrinsic_iters!r}")
+    depth -= 1
+    pad = indent * depth
+    emit(f"{pad}}}")
+    emit(f"{pad}// store: {program.memory_nodes[-1].src!r}")
+    for _ in sched.spatial_dims:
+        depth -= 1
+        emit(f"{indent * depth}}}")
+    emit("}")
+    return "\n".join(lines)

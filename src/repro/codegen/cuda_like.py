@@ -1,0 +1,96 @@
+"""CUDA-like kernel source emission.
+
+Renders a scheduled mapping as readable CUDA-style pseudo source with WMMA
+intrinsic calls, shared-memory staging, and the loop structure implied by
+the schedule.  The text is for inspection and documentation (the simulator
+is the execution substrate); its structure mirrors what AMOS's TVM-based
+codegen produces on real hardware.
+"""
+
+from __future__ import annotations
+
+from repro.lower.lower import lower_mapping
+from repro.model.hardware_params import HardwareParams
+from repro.schedule.lowering import ScheduledMapping
+
+
+def emit_kernel(sched: ScheduledMapping, hw: HardwareParams) -> str:
+    """Emit CUDA-like source for one scheduled mapping."""
+    program = lower_mapping(sched)
+    physical = sched.physical
+    comp = physical.computation
+    intr = physical.intrinsic
+
+    lines: list[str] = []
+    emit = lines.append
+    emit(f"// {comp.name} mapped to {intr.name} on {hw.name}")
+    emit(f"// compute mapping: {physical.compute.describe()}")
+    emit(f"// schedule: {sched.schedule.describe()}")
+    emit(
+        f"// grid: {sched.num_blocks} blocks x {sched.warps_per_block} warps; "
+        f"{sched.calls_per_warp} intrinsic calls/warp"
+    )
+    args = ", ".join(
+        f"const {intr.in_dtype}* {t.name}" for t in comp.input_tensors
+    )
+    emit(f"__global__ void {comp.name}_kernel({args}, {intr.out_dtype}* {comp.output.tensor.name}) {{")
+
+    indent = "  "
+    if intr.memory.uses_shared():
+        for node in program.memory_nodes:
+            if node.scope.value == "shared":
+                shape = node.dst.tensor.shape
+                dims = " * ".join(str(s) for s in shape)
+                emit(f"{indent}__shared__ {intr.in_dtype} "
+                     f"smem_{node.dst.tensor.name.split('.')[-1]}[{dims} * STAGE];")
+        emit("")
+
+    emit(f"{indent}// fragment declarations")
+    for operand in intr.operand_names:
+        shape = intr.compute.operand_shape(operand)
+        dims = "x".join(str(s) for s in shape)
+        kind = "accumulator" if operand == intr.operand_names[0] else "matrix"
+        emit(f"{indent}wmma::fragment<{kind}, {dims}, {intr.in_dtype}> frag_{operand};")
+    emit("")
+
+    depth = 1
+    for dim in sched.spatial_dims:
+        split = sched.schedule.split_for(dim.name)
+        pad = indent * depth
+        emit(f"{pad}// {dim.name}: {dim.extent} tiles = "
+             f"{split.num_blocks(dim.extent)} blocks x {split.warp} warps x {split.seq} seq")
+        emit(f"{pad}for (int {dim.name}_seq = 0; {dim.name}_seq < {split.seq}; ++{dim.name}_seq) {{")
+        depth += 1
+
+    pad = indent * depth
+    emit(f"{pad}wmma::fill_fragment(frag_{intr.operand_names[0]}, 0.0f);")
+    emit(f"{pad}for (int k_outer = 0; k_outer < {sched.reduce_rounds}; ++k_outer) {{")
+    depth += 1
+    pad = indent * depth
+    if intr.memory.uses_shared():
+        emit(f"{pad}// stage global -> shared (scalar copies, vectorized x{sched.schedule.vectorize})")
+        emit(f"{pad}__syncthreads();")
+    for node in program.memory_nodes:
+        if node.scope.value == "reg":
+            operand = node.dst.tensor.name.split(".")[-1]
+            emit(f"{pad}{node.intrinsic_name}(frag_{operand}, {node.src!r}, stride_{operand.lower()});")
+    emit(f"{pad}// {program.compute_node.intrinsic_name}: "
+         f"{program.compute_node.intrinsic_iters!r}")
+    srcs = ", ".join(f"frag_{name}" for name in intr.operand_names[1:])
+    emit(f"{pad}wmma::mma_sync(frag_{intr.operand_names[0]}, {srcs}, frag_{intr.operand_names[0]});")
+    depth -= 1
+    pad = indent * depth
+    emit(f"{pad}}}")
+
+    store = next(
+        (n for n in program.memory_nodes if n.scope.value == "global"), None
+    )
+    if store is not None:
+        emit(f"{pad}{store.intrinsic_name}({store.src!r}, "
+             f"frag_{intr.operand_names[0]}, stride_out);")
+
+    for _ in sched.spatial_dims:
+        depth -= 1
+        emit(f"{indent * depth}}}")
+    emit("}")
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Top-level AMOS compilation pipeline (paper Fig 2).
+
+``amos_compile`` takes a high-level computation (the DSL stage), generates
+and validates software-hardware mappings against the target's intrinsic
+abstractions, explores the joint mapping x schedule space with the
+performance model + genetic tuner, and returns the compiled artifact:
+the chosen mapping, schedule, simulated latency and generated source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.explore.tuner import ExplorationResult, Tuner, TunerConfig
+from repro.frontends.operators import operator_traffic_bytes
+from repro.ir.compute import ReduceComputation
+from repro.model.hardware_params import HardwareParams, get_hardware
+from repro.schedule.lowering import ScheduledMapping
+from repro.sim.timing import simulate_scalar_fallback
+
+
+@dataclass(frozen=True)
+class CompiledKernel:
+    """Result of compiling one operator.
+
+    Attributes:
+        computation: the input operator.
+        scheduled: the selected mapping + schedule (None on the scalar
+            fallback path).
+        latency_us: simulated execution time.
+        used_intrinsics: whether a spatial intrinsic mapping was found.
+        num_mappings: size of the valid mapping set explored.
+        source: generated kernel source (CUDA-like pseudo code).
+    """
+
+    computation: ReduceComputation
+    scheduled: ScheduledMapping | None
+    latency_us: float
+    used_intrinsics: bool
+    num_mappings: int
+    source: str = ""
+
+    def gflops(self) -> float:
+        flops = self.computation.flop_count()
+        return flops / (self.latency_us * 1e-6) / 1e9 if self.latency_us > 0 else 0.0
+
+
+def amos_compile(
+    comp: ReduceComputation,
+    hardware: HardwareParams | str,
+    config: TunerConfig | None = None,
+    emit_source: bool = False,
+) -> CompiledKernel:
+    """Compile one operator for a spatial accelerator.
+
+    Falls back to the scalar path when no valid mapping exists (e.g.
+    element-wise operators on a matmul-only target), matching AMOS's
+    behaviour of leaving inherently unsupported operators on the general-
+    purpose units.
+    """
+    hw = get_hardware(hardware) if isinstance(hardware, str) else hardware
+    tuner = Tuner(hw, config)
+    mappings = tuner.candidate_mappings(comp)
+    if not mappings:
+        latency = simulate_scalar_fallback(
+            comp.flop_count(), operator_traffic_bytes(comp), hw
+        )
+        return CompiledKernel(comp, None, latency, False, 0)
+    result: ExplorationResult = tuner.tune(comp, mappings)
+    source = ""
+    if emit_source:
+        from repro.codegen.cuda_like import emit_kernel
+
+        source = emit_kernel(result.best, hw)
+    return CompiledKernel(
+        computation=comp,
+        scheduled=result.best,
+        latency_us=result.best_us,
+        used_intrinsics=True,
+        num_mappings=result.num_mappings,
+        source=source,
+    )

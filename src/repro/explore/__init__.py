@@ -1,0 +1,12 @@
+"""Joint mapping x schedule exploration (paper Sec 5.3)."""
+
+from repro.explore.metrics import pairwise_accuracy, top_k_recall
+from repro.explore.tuner import ExplorationResult, Tuner, TunerConfig
+
+__all__ = [
+    "ExplorationResult",
+    "Tuner",
+    "TunerConfig",
+    "pairwise_accuracy",
+    "top_k_recall",
+]

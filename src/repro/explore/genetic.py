@@ -1,0 +1,106 @@
+"""Genetic-algorithm search over the joint mapping x schedule space.
+
+The paper's tuning engine keeps a population of (mapping, schedule)
+candidates, evaluates them with the analytic performance model, keeps the
+fittest, and mutates their schedules (and occasionally re-draws the
+mapping) to produce the next generation.  Measurements on the "hardware"
+(our cycle simulator) are reserved for the model-selected top candidates,
+mirroring how AMOS limits expensive on-device runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.mapping.physical import PhysicalMapping
+from repro.schedule.schedule import Schedule
+from repro.schedule.space import ScheduleSpace
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the joint space."""
+
+    mapping_index: int
+    schedule: Schedule
+
+
+@dataclass
+class GeneticConfig:
+    population: int = 24
+    generations: int = 8
+    elite_fraction: float = 0.25
+    mapping_mutation_prob: float = 0.15
+    seed: int = 0
+
+
+def genetic_search(
+    mappings: Sequence[PhysicalMapping],
+    fitness: Callable[[Candidate], float],
+    config: GeneticConfig | None = None,
+    seeds: Sequence[Candidate] = (),
+    spaces: Sequence[ScheduleSpace] | None = None,
+) -> list[tuple[Candidate, float]]:
+    """Run the GA; returns all evaluated (candidate, cost) pairs sorted by
+    cost ascending (cost = predicted latency; lower is better).
+
+    Args:
+        mappings: the valid physical mappings to choose among.
+        fitness: cost function (typically the analytic model's latency).
+        config: GA hyper-parameters.
+        seeds: candidates injected into the initial population (e.g. the
+            default heuristic schedule of each pre-ranked mapping).
+        spaces: per-mapping schedule spaces; defaults to unconstrained
+            spaces (callers pass hardware-capped spaces so samples fit the
+            device's warp/register budgets).
+    """
+    if not mappings:
+        raise ValueError("no mappings to search over")
+    config = config or GeneticConfig()
+    rng = random.Random(config.seed)
+    if spaces is None:
+        spaces = [ScheduleSpace(pm) for pm in mappings]
+    if len(spaces) != len(mappings):
+        raise ValueError("one schedule space per mapping required")
+
+    def random_candidate() -> Candidate:
+        mi = rng.randrange(len(mappings))
+        return Candidate(mi, spaces[mi].sample(rng))
+
+    population = list(seeds)[: config.population]
+    population.extend(
+        random_candidate() for _ in range(config.population - len(population))
+    )
+    evaluated: dict[str, tuple[Candidate, float]] = {}
+
+    def key_of(c: Candidate) -> str:
+        return f"{c.mapping_index}|{c.schedule.describe()}"
+
+    def evaluate(c: Candidate) -> float:
+        k = key_of(c)
+        if k not in evaluated:
+            evaluated[k] = (c, fitness(c))
+        return evaluated[k][1]
+
+    for _ in range(config.generations):
+        scored = sorted(population, key=evaluate)
+        elite_count = max(1, int(len(scored) * config.elite_fraction))
+        elite = scored[:elite_count]
+        next_pop = list(elite)
+        while len(next_pop) < config.population:
+            parent = rng.choice(elite)
+            if rng.random() < config.mapping_mutation_prob:
+                child = random_candidate()
+            else:
+                space = spaces[parent.mapping_index]
+                child = Candidate(
+                    parent.mapping_index, space.mutate(parent.schedule, rng)
+                )
+            next_pop.append(child)
+        population = next_pop
+
+    for c in population:
+        evaluate(c)
+    return sorted(evaluated.values(), key=lambda pair: pair[1])

@@ -1,0 +1,54 @@
+"""Ranking-quality metrics for model validation (paper Fig 5).
+
+The paper evaluates the performance model by (a) pairwise rank accuracy —
+how often the model orders two candidates the same way the hardware does —
+and (b) top-k recall — what fraction of the truly-best k% candidates the
+model places in its own top k%.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+
+def pairwise_accuracy(predicted: Sequence[float], measured: Sequence[float]) -> float:
+    """Fraction of candidate pairs ordered consistently by both series.
+
+    Lower = better (latencies) is assumed for both inputs; ties in either
+    series count as half-correct, the standard Kendall-style convention.
+    """
+    if len(predicted) != len(measured):
+        raise ValueError("series lengths differ")
+    n = len(predicted)
+    if n < 2:
+        return 1.0
+    agree = 0.0
+    total = 0
+    for i, j in itertools.combinations(range(n), 2):
+        dp = predicted[i] - predicted[j]
+        dm = measured[i] - measured[j]
+        total += 1
+        if dp == 0 or dm == 0:
+            agree += 0.5
+        elif (dp > 0) == (dm > 0):
+            agree += 1.0
+    return agree / total
+
+
+def top_k_recall(
+    predicted: Sequence[float], measured: Sequence[float], top_rate: float
+) -> float:
+    """Recall of the measured-best ``top_rate`` fraction within the
+    predicted-best ``top_rate`` fraction (latencies: lower is better)."""
+    if not 0.0 < top_rate <= 1.0:
+        raise ValueError("top_rate must be in (0, 1]")
+    if len(predicted) != len(measured):
+        raise ValueError("series lengths differ")
+    n = len(predicted)
+    if n == 0:
+        return 1.0
+    k = max(1, int(round(n * top_rate)))
+    best_measured = set(sorted(range(n), key=lambda i: measured[i])[:k])
+    best_predicted = set(sorted(range(n), key=lambda i: predicted[i])[:k])
+    return len(best_measured & best_predicted) / k

@@ -1,0 +1,245 @@
+"""The AMOS tuner: enumerate mappings, explore schedules, measure the best.
+
+``Tuner.tune`` is the operational core of the compiler: it enumerates all
+valid mappings for the operator on the target's intrinsics, runs the
+genetic search with the analytic model as fitness, measures the
+model-selected top candidates on the cycle simulator, and returns the best
+measured (mapping, schedule) pair with its exploration history — the
+history is what Fig 5's model-validation curves are drawn from.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.explore.genetic import Candidate, GeneticConfig, genetic_search
+from repro.ir.compute import ReduceComputation
+from repro.isa.intrinsic import Intrinsic
+from repro.isa.registry import intrinsics_for_target
+from repro.mapping.generation import GenerationOptions, enumerate_mappings
+from repro.mapping.physical import PhysicalMapping, lower_to_physical
+from repro.model.hardware_params import HardwareParams
+from repro.model.perf_model import predict_latency
+from repro.schedule.lowering import ScheduledMapping, lower_schedule
+from repro.schedule.space import ScheduleSpace, default_schedule
+from repro.sim.timing import simulate_cycles
+
+
+@dataclass
+class TunerConfig:
+    """Exploration budget and options.
+
+    ``prefilter_mappings`` implements the paper's model-guided filtering:
+    every valid mapping is scored with the analytic model under a default
+    heuristic schedule and only the top candidates enter the (more
+    expensive) genetic schedule search.
+    """
+
+    population: int = 32
+    generations: int = 8
+    measure_top: int = 32
+    prefilter_mappings: int = 24
+    refine_rounds: int = 4
+    refine_neighbors: int = 16
+    seed: int = 0
+    generation_options: GenerationOptions = field(default_factory=GenerationOptions)
+
+
+@dataclass
+class Trial:
+    """One explored candidate with model prediction and measurement."""
+
+    scheduled: ScheduledMapping
+    predicted_us: float
+    measured_us: float | None = None
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of tuning one operator on one device."""
+
+    best: ScheduledMapping
+    best_us: float
+    trials: list[Trial]
+    num_mappings: int
+
+    def best_gflops(self) -> float:
+        flops = self.best.useful_flops()
+        return flops / (self.best_us * 1e-6) / 1e9 if self.best_us > 0 else 0.0
+
+
+class Tuner:
+    """Joint mapping x schedule tuner for one hardware target."""
+
+    def __init__(self, hardware: HardwareParams, config: TunerConfig | None = None):
+        self.hardware = hardware
+        self.config = config or TunerConfig()
+
+    # ------------------------------------------------------------------
+    def candidate_mappings(self, comp: ReduceComputation) -> list[PhysicalMapping]:
+        """All valid physical mappings across the target's intrinsics."""
+        result: list[PhysicalMapping] = []
+        for intrinsic in intrinsics_for_target(self.hardware.target):
+            for mapping in enumerate_mappings(
+                comp, intrinsic, self.config.generation_options
+            ):
+                result.append(lower_to_physical(mapping))
+        return result
+
+    def _prefilter(
+        self, physical: list[PhysicalMapping]
+    ) -> list[PhysicalMapping]:
+        """Keep the mappings the analytic model ranks best under a default
+        schedule (paper Sec 5.3: the model filters inferior mappings)."""
+        keep = self.config.prefilter_mappings
+        if keep <= 0 or len(physical) <= keep:
+            return physical
+        scored = []
+        for pm in physical:
+            sched = lower_schedule(pm, default_schedule(pm))
+            scored.append((predict_latency(sched, self.hardware).total_us, pm))
+        scored.sort(key=lambda pair: pair[0])
+        return [pm for _, pm in scored[:keep]]
+
+    def tune(
+        self,
+        comp: ReduceComputation,
+        mappings: list[PhysicalMapping] | None = None,
+    ) -> ExplorationResult:
+        """Explore and return the best measured candidate.
+
+        Args:
+            comp: the operator to map.
+            mappings: restrict the mapping choices (used by the fixed-
+                mapping baselines); defaults to the full enumeration.
+        """
+        physical = mappings if mappings is not None else self.candidate_mappings(comp)
+        if not physical:
+            raise ValueError(
+                f"no valid mapping of {comp.name} onto target {self.hardware.target!r}"
+            )
+
+        # Model-guided mapping pre-filter: rank mappings under a default
+        # heuristic schedule, keep the top few for the schedule search.
+        physical = self._prefilter(physical)
+
+        def fitness(candidate: Candidate) -> float:
+            sched = lower_schedule(physical[candidate.mapping_index], candidate.schedule)
+            return predict_latency(sched, self.hardware).total_us
+
+        max_warps = self.hardware.max_warps_per_subcore * self.hardware.subcores_per_core
+        spaces = [
+            ScheduleSpace(pm, max_warps_per_block=max_warps) for pm in physical
+        ]
+        seeds = [
+            Candidate(i, default_schedule(pm, max_warps_per_block=max_warps))
+            for i, pm in enumerate(physical)
+        ]
+        ga = GeneticConfig(
+            population=self.config.population,
+            generations=self.config.generations,
+            seed=self.config.seed,
+        )
+        ranked = genetic_search(physical, fitness, ga, seeds=seeds, spaces=spaces)
+
+        # Measure on the "hardware": the model's global top plus the best
+        # model-ranked candidate of every surviving mapping, so a mapping
+        # the model slightly misranks still gets one real measurement.
+        to_measure: list[int] = []
+        seen_mappings: set[int] = set()
+        for idx, (candidate, _) in enumerate(ranked):
+            if idx < self.config.measure_top:
+                to_measure.append(idx)
+                seen_mappings.add(candidate.mapping_index)
+            elif candidate.mapping_index not in seen_mappings:
+                to_measure.append(idx)
+                seen_mappings.add(candidate.mapping_index)
+        measured_set = set(to_measure)
+
+        trials: list[Trial] = []
+        best: ScheduledMapping | None = None
+        best_candidate: Candidate | None = None
+        best_us = float("inf")
+        for idx, (candidate, predicted) in enumerate(ranked):
+            sched = lower_schedule(physical[candidate.mapping_index], candidate.schedule)
+            if idx in measured_set:
+                measured = simulate_cycles(sched, self.hardware).total_us
+                trials.append(Trial(sched, predicted, measured))
+                if measured < best_us:
+                    best_us = measured
+                    best = sched
+                    best_candidate = candidate
+            else:
+                trials.append(Trial(sched, predicted))
+
+        # Safety net: the default heuristic schedule of every mapping is
+        # always measured, so a batch of model-favoured but infeasible
+        # candidates cannot leave the tuner empty-handed.
+        for i, seed_candidate in enumerate(seeds):
+            sched = lower_schedule(physical[i], seed_candidate.schedule)
+            predicted = predict_latency(sched, self.hardware).total_us
+            measured = simulate_cycles(sched, self.hardware).total_us
+            trials.append(Trial(sched, predicted, measured))
+            if measured < best_us:
+                best_us = measured
+                best = sched
+                best_candidate = seed_candidate
+        if best is None or best_candidate is None:
+            raise RuntimeError(f"no feasible schedule found for {comp.name}")
+
+        # Measured refinement rounds: AMOS's tuning loop alternates model-
+        # guided proposal with hardware measurement over many rounds; here
+        # the top measured candidates are hill-climbed with direct
+        # measurements for a few rounds each.
+        measured_trials = sorted(
+            (t for t in trials if t.measured_us is not None),
+            key=lambda t: t.measured_us,
+        )
+        index_by_id = {id(pm): i for i, pm in enumerate(physical)}
+        seeds_for_refine: list[tuple[Candidate, float]] = []
+        seen: set[int] = set()
+        for trial in measured_trials:
+            mi = index_by_id[id(trial.scheduled.physical)]
+            if mi in seen:
+                continue
+            seen.add(mi)
+            seeds_for_refine.append(
+                (Candidate(mi, trial.scheduled.schedule), trial.measured_us)
+            )
+            if len(seeds_for_refine) >= 4:
+                break
+
+        rng = random.Random(self.config.seed + 1)
+        space_cache: dict[int, ScheduleSpace] = {}
+        for start_candidate, start_us in seeds_for_refine:
+            current, current_us = start_candidate, start_us
+            for _ in range(self.config.refine_rounds):
+                space = space_cache.setdefault(
+                    current.mapping_index,
+                    ScheduleSpace(physical[current.mapping_index]),
+                )
+                improved = False
+                for _ in range(self.config.refine_neighbors):
+                    neighbor = Candidate(
+                        current.mapping_index, space.mutate(current.schedule, rng)
+                    )
+                    sched = lower_schedule(
+                        physical[neighbor.mapping_index], neighbor.schedule
+                    )
+                    predicted = predict_latency(sched, self.hardware).total_us
+                    measured = simulate_cycles(sched, self.hardware).total_us
+                    trials.append(Trial(sched, predicted, measured))
+                    if measured < current_us:
+                        current_us = measured
+                        current = neighbor
+                        improved = True
+                    if measured < best_us:
+                        best_us = measured
+                        best = sched
+                if not improved:
+                    break
+
+        return ExplorationResult(
+            best=best, best_us=best_us, trials=trials, num_mappings=len(physical)
+        )

@@ -1,0 +1,74 @@
+"""Tensor intermediate representation (IR).
+
+This package provides the small tensor DSL that AMOS consumes.  A tensor
+computation is expressed as a perfectly nested loop over *iteration
+variables* (:class:`~repro.ir.itervar.IterVar`) writing one output tensor
+from several input tensors, with affine index expressions.  The IR supports:
+
+* scalar expressions with the usual arithmetic (:mod:`repro.ir.expr`),
+* iteration variables split into spatial and reduction kinds
+  (:mod:`repro.ir.itervar`),
+* tensors and tensor accesses (:mod:`repro.ir.tensor`),
+* whole-computation definitions (:mod:`repro.ir.compute`),
+* affine analysis used to build access matrices and address expressions
+  (:mod:`repro.ir.affine`).
+"""
+
+from repro.ir.expr import (
+    Add,
+    BinaryOp,
+    Call,
+    Cast,
+    Expr,
+    FloatImm,
+    FloorDiv,
+    IntImm,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Sub,
+    Var,
+    const,
+    make_expr,
+)
+from repro.ir.itervar import IterKind, IterVar, reduce_axis, spatial_axis
+from repro.ir.tensor import Tensor, TensorAccess
+from repro.ir.compute import ReduceComputation, compute
+from repro.ir.affine import (
+    AffineExpr,
+    AffineExtractionError,
+    extract_affine,
+    iter_vars_in,
+)
+
+__all__ = [
+    "Add",
+    "AffineExpr",
+    "AffineExtractionError",
+    "BinaryOp",
+    "Call",
+    "Cast",
+    "Expr",
+    "FloatImm",
+    "FloorDiv",
+    "IntImm",
+    "IterKind",
+    "IterVar",
+    "Max",
+    "Min",
+    "Mod",
+    "Mul",
+    "ReduceComputation",
+    "Sub",
+    "Tensor",
+    "TensorAccess",
+    "Var",
+    "compute",
+    "const",
+    "extract_affine",
+    "iter_vars_in",
+    "make_expr",
+    "reduce_axis",
+    "spatial_axis",
+]

@@ -1,0 +1,259 @@
+"""Scalar expression nodes for the tensor IR.
+
+Expressions are small immutable trees.  They support the Python arithmetic
+operators so index expressions read naturally::
+
+    n, p, q = Var("n"), Var("p"), Var("q")
+    idx = n * 4 + p * 2 + q
+
+Every node is hashable and comparable structurally, which the mapping layer
+relies on when deduplicating access expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+Number = Union[int, float]
+ExprLike = Union["Expr", int, float]
+
+
+class Expr:
+    """Base class for all scalar expressions.
+
+    Subclasses are frozen dataclasses; an :class:`Expr` is a value, never
+    mutated after construction.
+    """
+
+    def __add__(self, other: ExprLike) -> "Expr":
+        return _fold(Add, self, make_expr(other))
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return _fold(Add, make_expr(other), self)
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return _fold(Sub, self, make_expr(other))
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return _fold(Sub, make_expr(other), self)
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return _fold(Mul, self, make_expr(other))
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return _fold(Mul, make_expr(other), self)
+
+    def __floordiv__(self, other: ExprLike) -> "Expr":
+        return _fold(FloorDiv, self, make_expr(other))
+
+    def __mod__(self, other: ExprLike) -> "Expr":
+        return _fold(Mod, self, make_expr(other))
+
+    def __neg__(self) -> "Expr":
+        return _fold(Mul, make_expr(-1), self)
+
+    # Children / traversal -------------------------------------------------
+    def children(self) -> tuple["Expr", ...]:
+        """Direct sub-expressions of this node."""
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class IntImm(Expr):
+    """Integer constant."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class FloatImm(Expr):
+    """Floating-point constant."""
+
+    value: float
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A named scalar variable.
+
+    Identity is by object, not by name: two ``Var("i")`` instances are
+    distinct variables.  This lets operators reuse loop-variable names
+    without collisions.
+    """
+
+    name: str
+    uid: int = field(default=-1, compare=True)
+
+    _counter = 0
+
+    def __post_init__(self) -> None:
+        if self.uid < 0:
+            Var._counter += 1
+            object.__setattr__(self, "uid", Var._counter)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Base for binary arithmetic nodes."""
+
+    a: Expr
+    b: Expr
+
+    symbol = "?"
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.a, self.b)
+
+    def __repr__(self) -> str:
+        return f"({self.a!r} {self.symbol} {self.b!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Add(BinaryOp):
+    symbol = "+"
+
+
+@dataclass(frozen=True, repr=False)
+class Sub(BinaryOp):
+    symbol = "-"
+
+
+@dataclass(frozen=True, repr=False)
+class Mul(BinaryOp):
+    symbol = "*"
+
+
+@dataclass(frozen=True, repr=False)
+class FloorDiv(BinaryOp):
+    symbol = "//"
+
+
+@dataclass(frozen=True, repr=False)
+class Mod(BinaryOp):
+    symbol = "%"
+
+
+@dataclass(frozen=True, repr=False)
+class Min(BinaryOp):
+    symbol = "min"
+
+    def __repr__(self) -> str:
+        return f"min({self.a!r}, {self.b!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Max(BinaryOp):
+    symbol = "max"
+
+    def __repr__(self) -> str:
+        return f"max({self.a!r}, {self.b!r})"
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    """Change the element type of a value (e.g. fp16 -> fp32 accumulate)."""
+
+    dtype: str
+    value: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.value,)
+
+    def __repr__(self) -> str:
+        return f"{self.dtype}({self.value!r})"
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """An opaque scalar function call such as ``exp`` or ``relu``."""
+
+    func: str
+    args: tuple[Expr, ...]
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def __repr__(self) -> str:
+        joined = ", ".join(repr(a) for a in self.args)
+        return f"{self.func}({joined})"
+
+
+def make_expr(value: ExprLike) -> Expr:
+    """Coerce a Python number into an expression node."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("booleans are not valid IR scalars")
+    if isinstance(value, int):
+        return IntImm(value)
+    if isinstance(value, float):
+        return FloatImm(value)
+    raise TypeError(f"cannot convert {value!r} to an Expr")
+
+
+def const(value: Number) -> Expr:
+    """Explicit constructor for constants (alias of :func:`make_expr`)."""
+    return make_expr(value)
+
+
+_IDENTITY = {
+    Add: 0,
+    Sub: None,
+    Mul: 1,
+}
+
+
+def _fold(op_cls: type, a: Expr, b: Expr) -> Expr:
+    """Build a binary node with light constant folding.
+
+    Folding keeps machine-generated address expressions readable
+    (``i*1 + 0`` becomes ``i``) without attempting full simplification.
+    """
+    if isinstance(a, IntImm) and isinstance(b, IntImm):
+        if op_cls is Add:
+            return IntImm(a.value + b.value)
+        if op_cls is Sub:
+            return IntImm(a.value - b.value)
+        if op_cls is Mul:
+            return IntImm(a.value * b.value)
+        if op_cls is FloorDiv and b.value != 0:
+            return IntImm(a.value // b.value)
+        if op_cls is Mod and b.value != 0:
+            return IntImm(a.value % b.value)
+    if op_cls is Add:
+        if isinstance(a, IntImm) and a.value == 0:
+            return b
+        if isinstance(b, IntImm) and b.value == 0:
+            return a
+    if op_cls is Sub and isinstance(b, IntImm) and b.value == 0:
+        return a
+    if op_cls is Mul:
+        if isinstance(a, IntImm):
+            if a.value == 1:
+                return b
+            if a.value == 0:
+                return IntImm(0)
+        if isinstance(b, IntImm):
+            if b.value == 1:
+                return a
+            if b.value == 0:
+                return IntImm(0)
+    if op_cls is FloorDiv and isinstance(b, IntImm) and b.value == 1:
+        return a
+    return op_cls(a, b)

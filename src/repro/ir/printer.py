@@ -1,0 +1,46 @@
+"""Human-readable printing of computations and mappings."""
+
+from __future__ import annotations
+
+from repro.ir.compute import ReduceComputation
+
+
+def format_computation(comp: ReduceComputation) -> str:
+    """Render a computation as pseudo-code loop nest.
+
+    Example output for a small 2-D convolution::
+
+        # conv2d
+        for n in range(1):          # spatial
+          for k in range(4):        # spatial
+            ...
+              out[n, k, p, q] += image[n, c, (p + r), (q + s)] * weight[k, c, r, s]
+    """
+    lines = [f"# {comp.name}"]
+    indent = ""
+    for iv in comp.iter_vars:
+        tag = "reduce" if iv.is_reduce else "spatial"
+        lines.append(f"{indent}for {iv.name} in range({iv.extent}):  # {tag}")
+        indent += "  "
+    body = _format_body(comp)
+    lines.append(indent + body)
+    return "\n".join(lines)
+
+
+def _format_body(comp: ReduceComputation) -> str:
+    inputs = [repr(a) for a in comp.inputs]
+    if comp.combine == "mul":
+        rhs = " * ".join(inputs)
+    elif comp.combine == "add":
+        rhs = " + ".join(inputs)
+    elif comp.combine == "mul_add3":
+        rhs = f"{inputs[0]} * {inputs[1]} + {inputs[2]}"
+    else:
+        rhs = inputs[0]
+    if comp.reduce == "sum":
+        op = "+="
+    elif comp.reduce == "max":
+        op = "=max="
+    else:
+        op = "="
+    return f"{comp.output!r} {op} {rhs}"

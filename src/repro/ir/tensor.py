@@ -1,0 +1,82 @@
+"""Tensors and tensor accesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.ir.expr import Expr, make_expr
+
+
+@dataclass(frozen=True)
+class Tensor:
+    """An n-dimensional data buffer.
+
+    Tensors carry a symbolic shape and element type; storage is provided by
+    the simulator at execution time.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str = "float32"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", tuple(int(s) for s in self.shape))
+        if any(s <= 0 for s in self.shape):
+            raise ValueError(f"tensor {self.name} has non-positive shape {self.shape}")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        total = 1
+        for s in self.shape:
+            total *= s
+        return total
+
+    def __getitem__(self, indices) -> "TensorAccess":
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        return TensorAccess(self, tuple(_as_index(i) for i in indices))
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(s) for s in self.shape)
+        return f"{self.name}<{dims}, {self.dtype}>"
+
+
+def _as_index(index) -> Expr:
+    # IterVar objects are accepted directly for convenience.
+    from repro.ir.itervar import IterVar
+
+    if isinstance(index, IterVar):
+        return index.var
+    return make_expr(index)
+
+
+@dataclass(frozen=True)
+class TensorAccess:
+    """A read (or write) of one tensor element at affine indices."""
+
+    tensor: Tensor
+    indices: tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.indices) != self.tensor.ndim:
+            raise ValueError(
+                f"access to {self.tensor.name} has {len(self.indices)} indices, "
+                f"tensor is {self.tensor.ndim}-dimensional"
+            )
+
+    def __repr__(self) -> str:
+        joined = ", ".join(repr(i) for i in self.indices)
+        return f"{self.tensor.name}[{joined}]"
+
+
+def tensors_of(accesses: Sequence[TensorAccess]) -> list[Tensor]:
+    """Unique tensors referenced by ``accesses``, in first-seen order."""
+    seen: dict[str, Tensor] = {}
+    for access in accesses:
+        seen.setdefault(access.tensor.name, access.tensor)
+    return list(seen.values())

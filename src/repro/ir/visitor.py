@@ -1,0 +1,98 @@
+"""Expression visitors and mutators.
+
+Only two operations are needed by the rest of the system: substitution of
+variables by arbitrary expressions (used when the physical mapping rewrites
+software indices with floordiv/mod forms), and structural evaluation against
+an integer environment (used by the simulator's address generation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.ir.expr import (
+    Add,
+    BinaryOp,
+    Call,
+    Cast,
+    Expr,
+    FloatImm,
+    FloorDiv,
+    IntImm,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Sub,
+    Var,
+)
+
+_BINARY_EVAL: dict[type, Callable[[int, int], int]] = {
+    Add: lambda a, b: a + b,
+    Sub: lambda a, b: a - b,
+    Mul: lambda a, b: a * b,
+    FloorDiv: lambda a, b: a // b,
+    Mod: lambda a, b: a % b,
+    Min: min,
+    Max: max,
+}
+
+
+def substitute(expr: Expr, mapping: Mapping[Var, Expr]) -> Expr:
+    """Replace every occurrence of the given variables.
+
+    Constant folding in the operator overloads keeps the result tidy.
+    """
+    if isinstance(expr, Var):
+        return mapping.get(expr, expr)
+    if isinstance(expr, (IntImm, FloatImm)):
+        return expr
+    if isinstance(expr, BinaryOp):
+        a = substitute(expr.a, mapping)
+        b = substitute(expr.b, mapping)
+        if a is expr.a and b is expr.b:
+            return expr
+        op = type(expr)
+        if op is Add:
+            return a + b
+        if op is Sub:
+            return a - b
+        if op is Mul:
+            return a * b
+        if op is FloorDiv:
+            return a // b
+        if op is Mod:
+            return a % b
+        return op(a, b)
+    if isinstance(expr, Cast):
+        inner = substitute(expr.value, mapping)
+        return expr if inner is expr.value else Cast(expr.dtype, inner)
+    if isinstance(expr, Call):
+        args = tuple(substitute(a, mapping) for a in expr.args)
+        return expr if args == expr.args else Call(expr.func, args)
+    raise TypeError(f"cannot substitute into {expr!r}")
+
+
+def evaluate(expr: Expr, env: Mapping[Var, int]) -> int:
+    """Evaluate an integer expression structurally.
+
+    Supports floordiv/mod, unlike the affine evaluator, so it works on
+    physically mapped index expressions.
+    """
+    if isinstance(expr, IntImm):
+        return expr.value
+    if isinstance(expr, FloatImm):
+        raise TypeError("float constant in integer expression")
+    if isinstance(expr, Var):
+        try:
+            return env[expr]
+        except KeyError as exc:
+            raise KeyError(f"no value bound for variable {expr.name}") from exc
+    if isinstance(expr, BinaryOp):
+        fn = _BINARY_EVAL.get(type(expr))
+        if fn is None:
+            raise TypeError(f"cannot evaluate {expr!r}")
+        return fn(evaluate(expr.a, env), evaluate(expr.b, env))
+    if isinstance(expr, Cast):
+        return evaluate(expr.value, env)
+    raise TypeError(f"cannot evaluate {expr!r}")

@@ -1,0 +1,33 @@
+"""Hardware abstraction for spatial-accelerator intrinsics (paper Sec 4).
+
+An :class:`~repro.isa.intrinsic.Intrinsic` packages:
+
+* a *compute abstraction* — the intrinsic's semantics rewritten as an
+  equivalent scalar program over small register tiles (Def 4.1),
+* a *memory abstraction* — the scoped load/store statements that move each
+  operand between global memory, shared buffers and registers (Def 4.2),
+* dtype/latency metadata and a fast numpy kernel used by the simulator.
+
+Concrete intrinsics for every accelerator evaluated in the paper live in
+:mod:`repro.isa.tensorcore`, :mod:`repro.isa.avx512`, :mod:`repro.isa.mali`
+and :mod:`repro.isa.virtual_accel`, and register themselves with
+:mod:`repro.isa.registry`.
+"""
+
+from repro.isa.abstraction import ComputeAbstraction, MemoryAbstraction, MemoryStatement
+from repro.isa.intrinsic import Intrinsic
+from repro.isa.registry import get_intrinsic, intrinsics_for_target, list_intrinsics, register_intrinsic
+
+# Importing the definition modules registers all built-in intrinsics.
+from repro.isa import avx512, mali, tensorcore, virtual_accel  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "ComputeAbstraction",
+    "Intrinsic",
+    "MemoryAbstraction",
+    "MemoryStatement",
+    "get_intrinsic",
+    "intrinsics_for_target",
+    "list_intrinsics",
+    "register_intrinsic",
+]

@@ -1,0 +1,158 @@
+"""Compute and memory abstractions (paper Definitions 4.1 and 4.2).
+
+The compute abstraction reuses :class:`~repro.ir.compute.ReduceComputation`:
+an intrinsic's semantics *is* a tiny scalar loop nest over register tiles,
+e.g. for Tensor Core ``mma_sync`` (m16n16k16)::
+
+    Dst[i1, i2] += Src1[i1, r1] * Src2[r1, i2]
+    with i1 < 16, i2 < 16, r1 < 16
+
+The affine range constraints of Def 4.1 are carried by the iteration
+extents.  The memory abstraction is the ordered list of scoped data-movement
+statements the intrinsic set provides (Def 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.ir.compute import ReduceComputation
+from repro.ir.itervar import IterVar
+
+#: Memory scopes recognised by the abstraction, outermost to innermost.
+SCOPES = ("global", "shared", "reg")
+
+
+@dataclass(frozen=True)
+class ComputeAbstraction:
+    """Scalar-format semantics of one compute intrinsic.
+
+    Attributes:
+        computation: the scalar loop nest over register-tile operands.  Its
+            output tensor is the intrinsic's ``Dst`` operand and its input
+            tensors are ``Src1..SrcM`` in order.
+        kernel: vectorised numpy implementation of one intrinsic invocation.
+            Receives the source tiles (and the current destination tile as
+            the last argument when the intrinsic accumulates) and returns
+            the new destination tile.  Must agree with
+            ``computation.reference`` — tests enforce this.
+    """
+
+    computation: ReduceComputation
+    kernel: Callable[..., np.ndarray]
+
+    @property
+    def iter_vars(self) -> tuple[IterVar, ...]:
+        return self.computation.iter_vars
+
+    @property
+    def problem_size(self) -> tuple[int, ...]:
+        """Extents of the intrinsic iterations (the Fig 3j size constraint)."""
+        return tuple(iv.extent for iv in self.iter_vars)
+
+    @property
+    def operand_names(self) -> tuple[str, ...]:
+        """``(Dst, Src1, ..., SrcM)`` tile-tensor names."""
+        return tuple(t.name for t in self.computation.tensors)
+
+    def operand_shape(self, operand: str) -> tuple[int, ...]:
+        for tensor in self.computation.tensors:
+            if tensor.name == operand:
+                return tensor.shape
+        raise KeyError(f"intrinsic has no operand {operand!r}")
+
+    def access_matrix(self) -> np.ndarray:
+        """Matrix ``Z`` of Algorithm 1: operands x intrinsic iterations."""
+        return self.computation.access_matrix()
+
+    def macs_per_call(self) -> int:
+        """Scalar multiply-accumulate slots provided by one invocation."""
+        total = 1
+        for iv in self.iter_vars:
+            total *= iv.extent
+        return total
+
+    def apply(self, dst: np.ndarray, *srcs: np.ndarray) -> np.ndarray:
+        """Run one intrinsic invocation on concrete tiles."""
+        return self.kernel(dst, *srcs)
+
+
+@dataclass(frozen=True)
+class MemoryStatement:
+    """One scoped data-movement statement of the memory abstraction.
+
+    ``reg.Src1[...] = shared.Src1[...]`` is represented as
+    ``MemoryStatement("Src1", dst_scope="reg", src_scope="shared",
+    via_intrinsic=True)``.  ``via_intrinsic`` distinguishes moves performed
+    by a dedicated memory intrinsic (Tensor Core ``load_matrix_sync``; such
+    moves are constrained to strided 2-D slabs) from moves done by ordinary
+    scalar code (flexible gather/scatter, e.g. the global->shared stage).
+    """
+
+    operand: str
+    dst_scope: str
+    src_scope: str
+    via_intrinsic: bool = True
+
+    def __post_init__(self) -> None:
+        for scope in (self.dst_scope, self.src_scope):
+            if scope not in SCOPES:
+                raise ValueError(f"unknown memory scope {scope!r}; expected one of {SCOPES}")
+
+    def __repr__(self) -> str:
+        how = "intrinsic" if self.via_intrinsic else "scalar"
+        return f"{self.dst_scope}.{self.operand} <- {self.src_scope}.{self.operand} ({how})"
+
+
+@dataclass(frozen=True)
+class MemoryAbstraction:
+    """The list of memory statements attached to one compute intrinsic."""
+
+    statements: tuple[MemoryStatement, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "statements", tuple(self.statements))
+
+    def statements_for(self, operand: str) -> list[MemoryStatement]:
+        return [s for s in self.statements if s.operand == operand]
+
+    def load_scope(self, operand: str) -> str:
+        """Innermost source scope an input operand is loaded from."""
+        stmts = [s for s in self.statements_for(operand) if s.dst_scope == "reg"]
+        if not stmts:
+            return "reg"
+        return stmts[0].src_scope
+
+    def uses_shared(self) -> bool:
+        """True when any operand is staged through shared memory."""
+        return any(s.src_scope == "shared" or s.dst_scope == "shared" for s in self.statements)
+
+
+def direct_register_memory(operands: Sequence[str], output: str) -> MemoryAbstraction:
+    """Memory abstraction for intrinsics whose operands live in plain
+    registers filled by ordinary vector loads (AVX-512, Mali dot): no
+    dedicated load/store intrinsics, no mandatory shared staging."""
+    stmts = [
+        MemoryStatement(name, "reg", "global", via_intrinsic=False)
+        for name in operands
+        if name != output
+    ]
+    stmts.append(MemoryStatement(output, "global", "reg", via_intrinsic=False))
+    return MemoryAbstraction(tuple(stmts))
+
+
+def shared_staged_memory(operands: Sequence[str], output: str) -> MemoryAbstraction:
+    """Memory abstraction for Tensor Core style intrinsics: inputs are
+    staged global->shared by scalar code, shared->reg by a load intrinsic,
+    and the accumulator is stored reg->global by a store intrinsic."""
+    stmts: list[MemoryStatement] = []
+    for name in operands:
+        if name == output:
+            continue
+        stmts.append(MemoryStatement(name, "shared", "global", via_intrinsic=False))
+        stmts.append(MemoryStatement(name, "reg", "shared", via_intrinsic=True))
+    stmts.append(MemoryStatement(output, "global", "reg", via_intrinsic=True))
+    return MemoryAbstraction(tuple(stmts))

@@ -1,0 +1,60 @@
+"""AVX-512 VNNI dot-product intrinsic.
+
+``_mm512_dpbusds_epi32`` multiplies groups of four int8 pairs and
+accumulates into sixteen int32 lanes.  With the standard oneDNN-style
+broadcast of the activation group (``_mm512_set1_epi32``), the combined
+compute+memory semantics is a 16x4 matrix-vector product — the paper
+describes the VNNI intrinsic as a matrix-vector multiplication unit::
+
+    Dst[i1] += Src1[r1] * Src2[i1, r1]
+    with i1 < 16, r1 < 4
+
+Src1 is the broadcast activation vector, Src2 the per-lane weight matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.compute import compute
+from repro.ir.itervar import reduce_axis, spatial_axis
+from repro.ir.tensor import Tensor
+from repro.isa.abstraction import ComputeAbstraction, direct_register_memory
+from repro.isa.intrinsic import Intrinsic
+from repro.isa.registry import register_intrinsic
+
+
+def _vnni_kernel(dst: np.ndarray, act: np.ndarray, wgt: np.ndarray) -> np.ndarray:
+    """One dpbusds invocation: dst[i] += sum_r act[r] * wgt[i, r]."""
+    return dst + wgt @ act
+
+
+def make_vnni_intrinsic(lanes: int = 16, group: int = 4) -> Intrinsic:
+    i1 = spatial_axis(lanes, "i1")
+    r1 = reduce_axis(group, "r1")
+    dst = Tensor("Dst", (lanes,), "int32")
+    src1 = Tensor("Src1", (group,), "int8")
+    src2 = Tensor("Src2", (lanes, group), "int8")
+    comp = compute(
+        f"vnni_dp_{lanes}x{group}",
+        [i1, r1],
+        dst[i1],
+        [src1[r1], src2[i1, r1]],
+        combine="mul",
+        reduce="sum",
+    )
+    return Intrinsic(
+        name=f"avx512_dpbusds_{lanes}x{group}",
+        target="avx512",
+        compute=ComputeAbstraction(comp, _vnni_kernel),
+        memory=direct_register_memory(("Dst", "Src1", "Src2"), "Dst"),
+        latency=1.0,  # fully pipelined, 1 invocation issued per cycle per FMA port
+        in_dtype="int8",
+        out_dtype="int32",
+        description="_mm512_dpbusds_epi32 with set1-broadcast activations (16-lane x 4-deep dot)",
+    )
+
+
+VNNI_16x4 = register_intrinsic(make_vnni_intrinsic())
+
+DEFAULT = VNNI_16x4

@@ -1,0 +1,90 @@
+"""Mali Bifrost ``arm_dot`` intrinsics.
+
+Bifrost exposes an 8-bit dot-product instruction that needs no explicit
+load/store intrinsics — operands come straight from registers (paper
+Sec 1).  Two broadcast arrangements are registered, mirroring how the
+instruction is used in practice:
+
+* ``mali_dot_gemv``  — activations broadcast across the output lanes:
+  ``Dst[i1] += Src1[r1] * Src2[i1, r1]`` — the natural fit for normal
+  convolutions (lanes = output channels).
+* ``mali_dot_simd``  — per-lane independent dot products:
+  ``Dst[i1] += Src1[i1, r1] * Src2[i1, r1]`` — the natural fit for
+  depthwise convolutions (lanes = channels shared by both operands).
+
+AMOS picks whichever of the registered intrinsics yields the better valid
+mapping, exactly the flexibility a template-based compiler lacks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.compute import compute
+from repro.ir.itervar import reduce_axis, spatial_axis
+from repro.ir.tensor import Tensor
+from repro.isa.abstraction import ComputeAbstraction, direct_register_memory
+from repro.isa.intrinsic import Intrinsic
+from repro.isa.registry import register_intrinsic
+
+
+def _gemv_kernel(dst: np.ndarray, act: np.ndarray, wgt: np.ndarray) -> np.ndarray:
+    return dst + wgt @ act
+
+
+def _simd_kernel(dst: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return dst + (a * b).sum(axis=-1)
+
+
+def make_mali_gemv(lanes: int = 4, depth: int = 4) -> Intrinsic:
+    i1 = spatial_axis(lanes, "i1")
+    r1 = reduce_axis(depth, "r1")
+    dst = Tensor("Dst", (lanes,), "int32")
+    src1 = Tensor("Src1", (depth,), "int8")
+    src2 = Tensor("Src2", (lanes, depth), "int8")
+    comp = compute(
+        f"mali_dot_gemv_{lanes}x{depth}",
+        [i1, r1],
+        dst[i1],
+        [src1[r1], src2[i1, r1]],
+    )
+    return Intrinsic(
+        name=f"mali_dot_gemv_{lanes}x{depth}",
+        target="mali",
+        compute=ComputeAbstraction(comp, _gemv_kernel),
+        memory=direct_register_memory(("Dst", "Src1", "Src2"), "Dst"),
+        latency=1.0,
+        in_dtype="int8",
+        out_dtype="int32",
+        description="arm_dot, activation broadcast across lanes (conv-style)",
+    )
+
+
+def make_mali_simd(lanes: int = 4, depth: int = 4) -> Intrinsic:
+    i1 = spatial_axis(lanes, "i1")
+    r1 = reduce_axis(depth, "r1")
+    dst = Tensor("Dst", (lanes,), "int32")
+    src1 = Tensor("Src1", (lanes, depth), "int8")
+    src2 = Tensor("Src2", (lanes, depth), "int8")
+    comp = compute(
+        f"mali_dot_simd_{lanes}x{depth}",
+        [i1, r1],
+        dst[i1],
+        [src1[i1, r1], src2[i1, r1]],
+    )
+    return Intrinsic(
+        name=f"mali_dot_simd_{lanes}x{depth}",
+        target="mali",
+        compute=ComputeAbstraction(comp, _simd_kernel),
+        memory=direct_register_memory(("Dst", "Src1", "Src2"), "Dst"),
+        latency=1.0,
+        in_dtype="int8",
+        out_dtype="int32",
+        description="arm_dot, independent per-lane dot products (depthwise-style)",
+    )
+
+
+MALI_DOT_GEMV = register_intrinsic(make_mali_gemv())
+MALI_DOT_SIMD = register_intrinsic(make_mali_simd())
+
+DEFAULT = MALI_DOT_GEMV

@@ -1,0 +1,44 @@
+"""Global intrinsic registry.
+
+New accelerators plug in by constructing an :class:`~repro.isa.intrinsic.
+Intrinsic` and calling :func:`register_intrinsic` — exactly the extension
+story the paper demonstrates in Sec 7.5 with the AXPY/GEMV/CONV virtual
+accelerators.
+"""
+
+from __future__ import annotations
+
+from repro.isa.intrinsic import Intrinsic
+
+_REGISTRY: dict[str, Intrinsic] = {}
+
+
+def register_intrinsic(intrinsic: Intrinsic, overwrite: bool = False) -> Intrinsic:
+    """Add an intrinsic to the registry; returns it for chaining."""
+    if intrinsic.name in _REGISTRY and not overwrite:
+        existing = _REGISTRY[intrinsic.name]
+        if existing is not intrinsic:
+            raise ValueError(f"intrinsic {intrinsic.name!r} already registered")
+        return intrinsic
+    _REGISTRY[intrinsic.name] = intrinsic
+    return intrinsic
+
+
+def get_intrinsic(name: str) -> Intrinsic:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown intrinsic {name!r}; registered: {known}") from None
+
+
+def list_intrinsics() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def intrinsics_for_target(target: str) -> list[Intrinsic]:
+    """All intrinsics registered for a hardware family, sorted by name."""
+    return sorted(
+        (i for i in _REGISTRY.values() if i.target == target),
+        key=lambda i: i.name,
+    )

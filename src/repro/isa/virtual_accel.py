@@ -1,0 +1,116 @@
+"""Virtual spatial accelerators (paper Sec 7.5, "New Accelerators").
+
+Three intrinsics covering the three BLAS levels, used to demonstrate that
+adding a new accelerator to AMOS only requires writing its hardware
+abstraction:
+
+* AXPY accelerator  — ``Dst[i1] += Src1[i1] * Src2[0]`` (level 1)
+* GEMV accelerator  — ``Dst[i1] += Src1[i1, r1] * Src2[r1]`` (level 2)
+* CONV accelerator  — a pointwise-convolution unit
+  ``Dst[i1, i2] += Src1[r1, i1] * Src2[i2, r1]`` over output pixels x
+  output channels x input channels (level 3; GEMM itself is already
+  demonstrated by Tensor Core).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.compute import compute
+from repro.ir.itervar import reduce_axis, spatial_axis
+from repro.ir.tensor import Tensor
+from repro.isa.abstraction import ComputeAbstraction, direct_register_memory, shared_staged_memory
+from repro.isa.intrinsic import Intrinsic
+from repro.isa.registry import register_intrinsic
+
+
+def _axpy_kernel(dst: np.ndarray, x: np.ndarray, a: np.ndarray) -> np.ndarray:
+    return dst + x * a[0]
+
+
+def make_axpy(width: int = 32) -> Intrinsic:
+    i1 = spatial_axis(width, "i1")
+    dst = Tensor("Dst", (width,), "float32")
+    src1 = Tensor("Src1", (width,), "float32")
+    src2 = Tensor("Src2", (1,), "float32")
+    comp = compute(
+        f"axpy_{width}",
+        [i1],
+        dst[i1],
+        [src1[i1], src2[0]],
+        combine="mul",
+        reduce="sum",
+    )
+    return Intrinsic(
+        name=f"vaxpy_{width}",
+        target="axpy_accel",
+        compute=ComputeAbstraction(comp, _axpy_kernel),
+        memory=direct_register_memory(("Dst", "Src1", "Src2"), "Dst"),
+        latency=1.0,
+        in_dtype="float32",
+        out_dtype="float32",
+        description="virtual AXPY accelerator: y[i] += x[i] * alpha",
+    )
+
+
+def _gemv_kernel(dst: np.ndarray, mat: np.ndarray, vec: np.ndarray) -> np.ndarray:
+    return dst + mat @ vec
+
+
+def make_gemv(rows: int = 16, depth: int = 16) -> Intrinsic:
+    i1 = spatial_axis(rows, "i1")
+    r1 = reduce_axis(depth, "r1")
+    dst = Tensor("Dst", (rows,), "float32")
+    src1 = Tensor("Src1", (rows, depth), "float32")
+    src2 = Tensor("Src2", (depth,), "float32")
+    comp = compute(
+        f"gemv_{rows}x{depth}",
+        [i1, r1],
+        dst[i1],
+        [src1[i1, r1], src2[r1]],
+    )
+    return Intrinsic(
+        name=f"vgemv_{rows}x{depth}",
+        target="gemv_accel",
+        compute=ComputeAbstraction(comp, _gemv_kernel),
+        memory=direct_register_memory(("Dst", "Src1", "Src2"), "Dst"),
+        latency=2.0,
+        in_dtype="float32",
+        out_dtype="float32",
+        description="virtual GEMV accelerator: y[i] += A[i, k] * x[k]",
+    )
+
+
+def _conv_kernel(dst: np.ndarray, act: np.ndarray, wgt: np.ndarray) -> np.ndarray:
+    # dst[p, k] += sum_c act[c, p] * wgt[k, c]
+    return dst + act.T @ wgt.T
+
+
+def make_conv(pixels: int = 8, channels_out: int = 8, channels_in: int = 8) -> Intrinsic:
+    i1 = spatial_axis(pixels, "i1")
+    i2 = spatial_axis(channels_out, "i2")
+    r1 = reduce_axis(channels_in, "r1")
+    dst = Tensor("Dst", (pixels, channels_out), "float32")
+    src1 = Tensor("Src1", (channels_in, pixels), "float32")
+    src2 = Tensor("Src2", (channels_out, channels_in), "float32")
+    comp = compute(
+        f"pconv_{pixels}x{channels_out}x{channels_in}",
+        [i1, i2, r1],
+        dst[i1, i2],
+        [src1[r1, i1], src2[i2, r1]],
+    )
+    return Intrinsic(
+        name=f"vconv_{pixels}x{channels_out}x{channels_in}",
+        target="conv_accel",
+        compute=ComputeAbstraction(comp, _conv_kernel),
+        memory=shared_staged_memory(("Dst", "Src1", "Src2"), "Dst"),
+        latency=4.0,
+        in_dtype="float32",
+        out_dtype="float32",
+        description="virtual pointwise-conv accelerator: out[p, k] += act[c, p] * w[k, c]",
+    )
+
+
+VAXPY = register_intrinsic(make_axpy())
+VGEMV = register_intrinsic(make_gemv())
+VCONV = register_intrinsic(make_conv())

@@ -1,0 +1,26 @@
+"""Compiler IR nodes for hardware abstraction (paper Sec 6, Table 4)."""
+
+from repro.lower.nodes import (
+    ArrayNode,
+    BufferLoadNode,
+    ComputeNode,
+    ExprNode,
+    IRNode,
+    MemoryNode,
+    StringNode,
+    TensorNode,
+)
+from repro.lower.lower import lower_mapping, LoweredProgram
+
+__all__ = [
+    "ArrayNode",
+    "BufferLoadNode",
+    "ComputeNode",
+    "ExprNode",
+    "IRNode",
+    "LoweredProgram",
+    "MemoryNode",
+    "StringNode",
+    "TensorNode",
+    "lower_mapping",
+]

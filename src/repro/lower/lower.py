@@ -1,0 +1,107 @@
+"""Lowering a scheduled mapping to the Table-4 IR.
+
+Produces a :class:`LoweredProgram`: the per-operand ``Memory`` nodes (one
+per memory-abstraction statement, with concrete base-address expressions
+from the physical memory mapping) and the central ``Compute`` node (with
+the fused intrinsic-iteration expressions).  The code generators render
+this structure as kernel source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.expr import Expr, Mod
+from repro.ir.tensor import Tensor
+from repro.lower.nodes import (
+    ArrayNode,
+    BufferLoadNode,
+    ComputeNode,
+    ExprNode,
+    MemoryNode,
+    StringNode,
+    TensorNode,
+)
+from repro.schedule.lowering import ScheduledMapping
+
+
+@dataclass(frozen=True)
+class LoweredProgram:
+    """IR for one compiled kernel."""
+
+    scheduled: ScheduledMapping
+    memory_nodes: tuple[MemoryNode, ...]
+    compute_node: ComputeNode
+
+    def all_nodes(self):
+        yield from self.memory_nodes
+        yield self.compute_node
+
+
+def lower_mapping(sched: ScheduledMapping) -> LoweredProgram:
+    """Lower one scheduled mapping into Compute/Memory IR nodes."""
+    physical = sched.physical
+    intr = physical.intrinsic
+    abstraction = intr.compute.computation
+
+    # Memory nodes: one per memory-abstraction statement, using the
+    # physical memory mapping's address expressions.
+    memory_nodes: list[MemoryNode] = []
+    for stmt in intr.memory.statements:
+        operand = stmt.operand
+        address = physical.operand_address(operand)
+        shape = intr.compute.operand_shape(operand)
+        dst = TensorNode(Tensor(f"{stmt.dst_scope}.{operand}", shape, intr.in_dtype))
+        src_tensor = TensorNode(
+            Tensor(f"{stmt.src_scope}.{operand}", shape, intr.in_dtype)
+        )
+        load = BufferLoadNode(src_tensor, (ExprNode(address.base),))
+        memory_nodes.append(
+            MemoryNode(
+                dst,
+                StringNode(stmt.dst_scope),
+                load,
+                intrinsic_name=_memory_intrinsic_name(intr.target, stmt.dst_scope, operand),
+            )
+        )
+
+    # Compute node: destination tile, intrinsic body, and the physical
+    # (modulo-split) fused iteration expressions.
+    iter_exprs = []
+    for t, split in enumerate(physical.splits):
+        fused: Expr = physical.compute.fused_index_expr(t)
+        iter_exprs.append(ExprNode(Mod(fused, _const(split.problem_size))))
+    dst_shape = intr.compute.operand_shape(intr.operand_names[0])
+    compute_node = ComputeNode(
+        dst=TensorNode(Tensor(f"reg.{intr.operand_names[0]}", dst_shape, intr.out_dtype)),
+        body=ExprNode(_body_expr(abstraction)),
+        intrinsic_iters=ArrayNode(tuple(iter_exprs)),
+        intrinsic_name=intr.name,
+    )
+    return LoweredProgram(sched, tuple(memory_nodes), compute_node)
+
+
+def _const(value: int):
+    from repro.ir.expr import IntImm
+
+    return IntImm(value)
+
+
+def _body_expr(abstraction) -> Expr:
+    """The intrinsic's arithmetic expression over its operand accesses."""
+    from repro.ir.expr import Call
+
+    args = []
+    for access in abstraction.inputs:
+        args.append(Call(access.tensor.name, tuple(access.indices)))
+    return Call(abstraction.combine, tuple(args))
+
+
+def _memory_intrinsic_name(target: str, dst_scope: str, operand: str) -> str:
+    if target == "tensorcore":
+        if dst_scope == "reg":
+            return "wmma::load_matrix_sync"
+        if dst_scope == "global":
+            return "wmma::store_matrix_sync"
+        return "cp.async"
+    return f"{target}.copy"

@@ -1,0 +1,31 @@
+"""Software-hardware mapping: generation, validation and physical lowering.
+
+This package implements the paper's core contribution (Sec 4.3 and Sec 5):
+
+* :mod:`repro.mapping.matrices` — access matrices ``X``/``Z`` and the
+  binary matching matrix ``Y``;
+* :mod:`repro.mapping.validation` — Algorithm 1;
+* :mod:`repro.mapping.generation` — enumeration of candidate compute
+  mappings (the two-step virtual -> physical flow);
+* :mod:`repro.mapping.physical` — physical mapping: modulo-split fused
+  iterations, base-address/stride generation and trailing padding.
+"""
+
+from repro.mapping.matrices import MatchingMatrix, binary_matmul
+from repro.mapping.mapping import ComputeMapping, SoftwareHardwareMapping
+from repro.mapping.validation import validate_mapping, ValidationResult
+from repro.mapping.generation import enumerate_mappings, GenerationOptions
+from repro.mapping.physical import PhysicalMapping, lower_to_physical
+
+__all__ = [
+    "ComputeMapping",
+    "GenerationOptions",
+    "MatchingMatrix",
+    "PhysicalMapping",
+    "SoftwareHardwareMapping",
+    "ValidationResult",
+    "binary_matmul",
+    "enumerate_mappings",
+    "lower_to_physical",
+    "validate_mapping",
+]

@@ -1,0 +1,12 @@
+"""Analytic performance model (paper Sec 5.3) and hardware parameters."""
+
+from repro.model.hardware_params import HardwareParams, get_hardware, list_hardware
+from repro.model.perf_model import predict_latency, PerfPrediction
+
+__all__ = [
+    "HardwareParams",
+    "PerfPrediction",
+    "get_hardware",
+    "list_hardware",
+    "predict_latency",
+]

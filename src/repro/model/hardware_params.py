@@ -1,0 +1,236 @@
+"""Hardware parameter sets for the simulated accelerators.
+
+Each parameter set describes a 3-level spatial accelerator in the shape of
+paper Fig 1a: cores (SMs / CPU cores / shader cores) contain sub-cores
+(warp schedulers / SIMD ports / execution engines) which contain the
+intrinsic execution units (Tensor Cores / FMA ports / dot units), plus the
+memory hierarchy (global -> shared -> registers).
+
+Numbers follow the public specifications of the devices the paper
+evaluates (V100, A100, Xeon Silver 4110, Mali G76); they parameterise the
+simulator, and only *relative* performance across mappings/compilers is
+meaningful, as discussed in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class HardwareParams:
+    """Parameters of one simulated spatial accelerator.
+
+    Attributes:
+        name: device identifier (``"v100"``...).
+        target: intrinsic family executable by this device.
+        num_cores: top-level cores sharing global memory.
+        subcores_per_core: schedulers per core sharing the core's buffers.
+        intrinsic_macs_per_cycle: scalar multiply-accumulates the intrinsic
+            units of ONE sub-core complete per cycle.
+        scalar_macs_per_cycle: MACs per cycle of one sub-core's scalar/SIMT
+            path (the fallback when an operator cannot use intrinsics).
+        clock_ghz: core clock.
+        global_bandwidth_gbs: device-memory bandwidth, GB/s.
+        shared_bandwidth_gbs_per_core: shared-buffer bandwidth per core.
+        shared_capacity_bytes: shared buffer per core.
+        reg_capacity_bytes: register file per sub-core.
+        max_warps_per_subcore: resident warp contexts per sub-core.
+        max_blocks_per_core: resident block limit per core.
+        launch_overhead_us: per-kernel fixed overhead.
+    """
+
+    name: str
+    target: str
+    num_cores: int
+    subcores_per_core: int
+    intrinsic_macs_per_cycle: float
+    scalar_macs_per_cycle: float
+    clock_ghz: float
+    global_bandwidth_gbs: float
+    shared_bandwidth_gbs_per_core: float
+    shared_capacity_bytes: int
+    reg_capacity_bytes: int
+    max_warps_per_subcore: int = 16
+    max_blocks_per_core: int = 32
+    launch_overhead_us: float = 3.0
+
+    @property
+    def peak_intrinsic_flops(self) -> float:
+        """Peak FLOP/s through intrinsics (2 FLOPs per MAC)."""
+        return (
+            2.0
+            * self.intrinsic_macs_per_cycle
+            * self.subcores_per_core
+            * self.num_cores
+            * self.clock_ghz
+            * 1e9
+        )
+
+    @property
+    def peak_scalar_flops(self) -> float:
+        return (
+            2.0
+            * self.scalar_macs_per_cycle
+            * self.subcores_per_core
+            * self.num_cores
+            * self.clock_ghz
+            * 1e9
+        )
+
+    def with_overrides(self, **kwargs) -> "HardwareParams":
+        """Copy with selected fields replaced (used by ablation benches)."""
+        return replace(self, **kwargs)
+
+
+_HARDWARE: dict[str, HardwareParams] = {}
+
+
+def _register(params: HardwareParams) -> HardwareParams:
+    _HARDWARE[params.name] = params
+    return params
+
+
+# NVIDIA V100 (Volta): 80 SMs x 4 sub-cores, 2 Tensor Cores per sub-core,
+# each 64 fp16 MACs/cycle -> 128 MACs/cycle/sub-core; ~125 TFLOP/s fp16 TC
+# peak, ~15.7 TFLOP/s fp32 CUDA-core peak, 900 GB/s HBM2, 96 KiB shared/SM.
+V100 = _register(
+    HardwareParams(
+        name="v100",
+        target="tensorcore",
+        num_cores=80,
+        subcores_per_core=4,
+        intrinsic_macs_per_cycle=128.0,
+        scalar_macs_per_cycle=16.0,
+        clock_ghz=1.53,
+        global_bandwidth_gbs=900.0,
+        shared_bandwidth_gbs_per_core=256.0,
+        shared_capacity_bytes=96 * 1024,
+        reg_capacity_bytes=64 * 1024,
+    )
+)
+
+# NVIDIA A100 (Ampere): 108 SMs x 4 sub-cores, 1 third-gen Tensor Core per
+# sub-core at 256 fp16 MACs/cycle -> 312 TFLOP/s fp16 TC peak, 19.5 TFLOP/s
+# fp32, 1555 GB/s HBM2e, 164 KiB shared/SM.
+A100 = _register(
+    HardwareParams(
+        name="a100",
+        target="tensorcore",
+        num_cores=108,
+        subcores_per_core=4,
+        intrinsic_macs_per_cycle=256.0,
+        scalar_macs_per_cycle=16.0,
+        clock_ghz=1.41,
+        global_bandwidth_gbs=1555.0,
+        shared_bandwidth_gbs_per_core=384.0,
+        shared_capacity_bytes=164 * 1024,
+        reg_capacity_bytes=64 * 1024,
+    )
+)
+
+# Intel Xeon Silver 4110: 8 cores, 2.1 GHz, one 512-bit FMA port; the VNNI
+# dot intrinsic retires 64 int8 MACs per cycle per core.  Scalar path is
+# 256-bit AVX2 fp32 (8 MACs/cycle).  ~115 GB/s six-channel DDR4.
+XEON_4110 = _register(
+    HardwareParams(
+        name="xeon_4110",
+        target="avx512",
+        num_cores=8,
+        subcores_per_core=1,
+        intrinsic_macs_per_cycle=64.0,
+        scalar_macs_per_cycle=8.0,
+        clock_ghz=2.1,
+        global_bandwidth_gbs=115.0,
+        shared_bandwidth_gbs_per_core=64.0,
+        shared_capacity_bytes=1024 * 1024,  # L2 slice used as the staging buffer
+        reg_capacity_bytes=2 * 1024,
+        max_warps_per_subcore=2,
+        max_blocks_per_core=2,
+        launch_overhead_us=1.0,
+    )
+)
+
+# Arm Mali G76 (Bifrost): 12 shader cores x 3 execution engines, 8-wide
+# int8 dot product per lane group -> 32 int8 MACs/cycle/engine at 0.72 GHz;
+# LPDDR4X ~30 GB/s.
+MALI_G76 = _register(
+    HardwareParams(
+        name="mali_g76",
+        target="mali",
+        num_cores=12,
+        subcores_per_core=3,
+        intrinsic_macs_per_cycle=32.0,
+        scalar_macs_per_cycle=8.0,
+        clock_ghz=0.72,
+        global_bandwidth_gbs=30.0,
+        shared_bandwidth_gbs_per_core=24.0,
+        shared_capacity_bytes=32 * 1024,
+        reg_capacity_bytes=8 * 1024,
+        max_warps_per_subcore=4,
+        max_blocks_per_core=8,
+        launch_overhead_us=10.0,
+    )
+)
+
+# Virtual accelerators of Sec 7.5: modest machines used to demonstrate
+# retargetability, one per BLAS-level intrinsic.
+AXPY_ACCEL = _register(
+    HardwareParams(
+        name="axpy_accel",
+        target="axpy_accel",
+        num_cores=16,
+        subcores_per_core=2,
+        intrinsic_macs_per_cycle=32.0,
+        scalar_macs_per_cycle=4.0,
+        clock_ghz=1.0,
+        global_bandwidth_gbs=100.0,
+        shared_bandwidth_gbs_per_core=32.0,
+        shared_capacity_bytes=32 * 1024,
+        reg_capacity_bytes=8 * 1024,
+    )
+)
+
+GEMV_ACCEL = _register(
+    HardwareParams(
+        name="gemv_accel",
+        target="gemv_accel",
+        num_cores=16,
+        subcores_per_core=2,
+        intrinsic_macs_per_cycle=128.0,
+        scalar_macs_per_cycle=4.0,
+        clock_ghz=1.0,
+        global_bandwidth_gbs=200.0,
+        shared_bandwidth_gbs_per_core=64.0,
+        shared_capacity_bytes=64 * 1024,
+        reg_capacity_bytes=16 * 1024,
+    )
+)
+
+CONV_ACCEL = _register(
+    HardwareParams(
+        name="conv_accel",
+        target="conv_accel",
+        num_cores=16,
+        subcores_per_core=2,
+        intrinsic_macs_per_cycle=256.0,
+        scalar_macs_per_cycle=4.0,
+        clock_ghz=1.0,
+        global_bandwidth_gbs=400.0,
+        shared_bandwidth_gbs_per_core=128.0,
+        shared_capacity_bytes=128 * 1024,
+        reg_capacity_bytes=32 * 1024,
+    )
+)
+
+
+def get_hardware(name: str) -> HardwareParams:
+    try:
+        return _HARDWARE[name]
+    except KeyError:
+        known = ", ".join(sorted(_HARDWARE))
+        raise KeyError(f"unknown hardware {name!r}; known: {known}") from None
+
+
+def list_hardware() -> list[str]:
+    return sorted(_HARDWARE)

@@ -1,0 +1,94 @@
+"""The paper's hierarchical analytic performance model (Sec 5.3).
+
+The accelerator is modelled level by level; level 0 is the intrinsic::
+
+    Perf = L_{num_levels - 1}
+    L_l  = prod(S_l) * max(L_{l-1}, R_{l-1}, W_{l-1})     for l > 0
+    L_0  = prod(S_0) * latency_of_intrinsic
+    R_l  = DataIn_l  / in_bw_l
+    W_l  = DataOut_l / out_bw_l
+
+with ``S_l`` the sequential (un-bound) loops of level ``l`` and the data
+volumes inferred from the buffer footprints of the scheduled mapping.
+
+Three levels are instantiated, matching Fig 1a:
+
+* level 0 — one warp issuing intrinsic calls on a sub-core,
+* level 1 — a block on a core, staging operands through the shared buffer,
+* level 2 — the grid on the whole device, streaming from global memory.
+
+The model deliberately omits residency limits, wave quantisation, launch
+overhead and measurement noise — those live in :mod:`repro.sim.timing` —
+so its predictions track the simulated ground truth in *trend*, which is
+what Fig 5 of the paper demonstrates (pairwise rank accuracy ~0.86).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.model.hardware_params import HardwareParams
+from repro.schedule.lowering import ScheduledMapping
+
+
+@dataclass(frozen=True)
+class PerfPrediction:
+    """Analytic latency prediction with the per-level terms (microseconds)."""
+
+    total_us: float
+    level0_us: float
+    level1_us: float
+    level2_us: float
+    read_us: float
+    write_us: float
+
+    def gflops(self, useful_flops: int) -> float:
+        if self.total_us <= 0:
+            return 0.0
+        return useful_flops / (self.total_us * 1e-6) / 1e9
+
+
+def predict_latency(sched: ScheduledMapping, hw: HardwareParams) -> PerfPrediction:
+    """Evaluate the analytic model on a scheduled mapping."""
+    clock_hz = hw.clock_ghz * 1e9
+    intr = sched.physical.intrinsic
+
+    # ---- level 0: one warp on a sub-core ---------------------------------
+    # Sequential loops of level 0: the calls one warp issues.
+    cycles_per_call = intr.macs_per_call() / hw.intrinsic_macs_per_cycle
+    l0_us = sched.calls_per_warp * cycles_per_call / clock_hz * 1e6
+
+    # ---- level 1: one block on a core ------------------------------------
+    # The block's warps run in parallel across the sub-cores; warps beyond
+    # the sub-core count serialise (sequential loops of level 1).
+    s1 = math.ceil(sched.warps_per_block / hw.subcores_per_core)
+    footprints = sched.operand_footprints
+    data_in_1 = sum(f.block_traffic_bytes for f in footprints if not f.is_output)
+    data_out_1 = sum(f.block_traffic_bytes for f in footprints if f.is_output)
+    shared_bw = hw.shared_bandwidth_gbs_per_core * 1e9
+    r1_us = data_in_1 / shared_bw * 1e6 if intr.memory.uses_shared() else 0.0
+    w1_us = data_out_1 / shared_bw * 1e6 if intr.memory.uses_shared() else 0.0
+    l1_us = s1 * max(l0_us, r1_us, w1_us)
+
+    # ---- level 2: the grid on the device ---------------------------------
+    s2 = math.ceil(sched.num_blocks / hw.num_cores)
+    data_in_2 = data_in_1 * sched.num_blocks
+    data_out_2 = data_out_1 * sched.num_blocks
+    global_bw = hw.global_bandwidth_gbs * 1e9
+    # Reads/writes of the whole grid stream through global memory; the
+    # per-core share is the device bandwidth divided by the cores busy in
+    # one "round" of blocks.
+    busy_cores = min(sched.num_blocks, hw.num_cores)
+    r2_us = (data_in_2 / s2) / (global_bw * busy_cores / hw.num_cores) * 1e6 if busy_cores else 0.0
+    w2_us = (data_out_2 / s2) / (global_bw * busy_cores / hw.num_cores) * 1e6 if busy_cores else 0.0
+    l2_us = s2 * max(l1_us, r2_us, w2_us)
+
+    return PerfPrediction(
+        total_us=l2_us,
+        level0_us=l0_us,
+        level1_us=l1_us,
+        level2_us=l2_us,
+        read_us=max(r1_us, r2_us),
+        write_us=max(w1_us, w2_us),
+    )

@@ -1,0 +1,21 @@
+"""Schedule optimisations applied on top of a physical mapping.
+
+Implements the optimisation set of paper Table 3a (tile / fuse / bind /
+parallel / cache / unroll / vectorize) over the macro loop nest produced
+by the physical mapping, plus the joint mapping x schedule search space
+sampled by the explorer.
+"""
+
+from repro.schedule.schedule import Schedule, DimSplit
+from repro.schedule.lowering import ScheduledMapping, lower_schedule, macro_dims
+from repro.schedule.space import ScheduleSpace, default_schedule
+
+__all__ = [
+    "DimSplit",
+    "Schedule",
+    "ScheduleSpace",
+    "ScheduledMapping",
+    "default_schedule",
+    "lower_schedule",
+    "macro_dims",
+]

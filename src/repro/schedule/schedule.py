@@ -1,0 +1,84 @@
+"""Schedule parameterisation.
+
+After physical mapping, the computation is a *macro loop nest* over tile
+coordinates (one macro dimension per intrinsic iteration) plus the
+unmapped software iterations.  A :class:`Schedule` assigns each spatial
+macro dimension a three-level split (``tile``), binds the outer part to
+parallel cores (``bind``/``parallel``), assigns warps within a block, and
+stages reductions through the shared buffer (``cache``), with
+``unroll``/``vectorize`` knobs — the optimisation set of Table 3a.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DimSplit:
+    """Split of one spatial macro dimension.
+
+    The dimension's ``extent`` tiles are covered by
+    ``num_blocks x warp x seq`` slots where
+    ``num_blocks = ceil(extent / (warp * seq))``:
+
+    * block level — bound to cores (``bind``),
+    * warp level — ``warp`` tiles computed by parallel warps in a block,
+    * sequential level — ``seq`` tiles iterated inside one warp.
+    """
+
+    warp: int = 1
+    seq: int = 1
+
+    def __post_init__(self) -> None:
+        if self.warp < 1 or self.seq < 1:
+            raise ValueError("split factors must be >= 1")
+
+    @property
+    def tiles_per_block(self) -> int:
+        return self.warp * self.seq
+
+    def num_blocks(self, extent: int) -> int:
+        return math.ceil(extent / self.tiles_per_block)
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """Schedule parameters for one scheduled mapping.
+
+    Attributes:
+        splits: per spatial macro dimension name -> :class:`DimSplit`.
+            Missing dimensions default to ``DimSplit(1, 1)`` (fully
+            block-parallel).
+        reduce_stage: reduction tiles staged into shared memory per round
+            (the ``cache`` optimisation); larger values increase reuse and
+            shared-memory footprint.
+        double_buffer: overlap staging with compute (2x shared footprint).
+        unroll: innermost sequential unroll factor (reduces loop overhead).
+        vectorize: vector width of the global<->shared copy code.
+    """
+
+    splits: dict[str, DimSplit] = field(default_factory=dict)
+    reduce_stage: int = 1
+    double_buffer: bool = False
+    unroll: int = 1
+    vectorize: int = 4
+
+    def __post_init__(self) -> None:
+        if self.reduce_stage < 1:
+            raise ValueError("reduce_stage must be >= 1")
+        if self.unroll < 1 or self.vectorize < 1:
+            raise ValueError("unroll/vectorize must be >= 1")
+
+    def split_for(self, dim_name: str) -> DimSplit:
+        return self.splits.get(dim_name, DimSplit(1, 1))
+
+    def describe(self) -> str:
+        parts = [
+            f"{name}: warp={s.warp} seq={s.seq}" for name, s in sorted(self.splits.items())
+        ]
+        parts.append(f"reduce_stage={self.reduce_stage}")
+        parts.append(f"double_buffer={self.double_buffer}")
+        parts.append(f"unroll={self.unroll} vectorize={self.vectorize}")
+        return "; ".join(parts)

@@ -1,0 +1,149 @@
+"""Schedule search space.
+
+The joint mapping x schedule space of Sec 5.3 is large (the paper cites
+more than 1e5 points); this module defines the schedule half: per spatial
+macro dimension a (warp, seq) split drawn from the divisors-and-powers-of-
+two lattice, a reduction staging factor, and the boolean/enum knobs.
+Deterministic sampling keyed by a seed keeps every experiment repeatable.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.mapping.physical import PhysicalMapping
+from repro.schedule.lowering import MacroDim, macro_dims
+from repro.schedule.schedule import DimSplit, Schedule
+
+
+def candidate_factors(extent: int, limit: int = 64) -> list[int]:
+    """Split-factor candidates for a dimension of ``extent`` tiles: all
+    powers of two up to ``min(extent, limit)`` plus the exact divisors."""
+    out = {1}
+    p = 1
+    while p < min(extent, limit):
+        p *= 2
+        out.add(min(p, extent))
+    for d in range(1, min(extent, limit) + 1):
+        if extent % d == 0:
+            out.add(d)
+    return sorted(f for f in out if f <= max(extent, 1))
+
+
+@dataclass
+class ScheduleSpace:
+    """Sampling space for schedules of one physical mapping."""
+
+    physical: PhysicalMapping
+    max_warps_per_block: int = 16
+    max_reduce_stage: int = 8
+
+    def __post_init__(self) -> None:
+        self._dims = macro_dims(self.physical)
+        self._spatial = [d for d in self._dims if not d.is_reduce]
+        self._reduce_total = 1
+        for d in self._dims:
+            if d.is_reduce:
+                self._reduce_total *= d.extent
+
+    @property
+    def spatial_dims(self) -> list[MacroDim]:
+        return list(self._spatial)
+
+    def sample(self, rng: random.Random) -> Schedule:
+        """Draw one random schedule."""
+        splits: dict[str, DimSplit] = {}
+        warp_budget = self.max_warps_per_block
+        for dim in self._spatial:
+            warp_opts = [f for f in candidate_factors(dim.extent) if f <= warp_budget]
+            warp = rng.choice(warp_opts) if warp_opts else 1
+            warp_budget = max(1, warp_budget // warp)
+            seq_opts = candidate_factors(max(1, math.ceil(dim.extent / warp)))
+            seq = rng.choice(seq_opts) if seq_opts else 1
+            splits[dim.name] = DimSplit(warp=warp, seq=seq)
+        stage_opts = [
+            f
+            for f in candidate_factors(max(self._reduce_total, 1))
+            if f <= self.max_reduce_stage
+        ] or [1]
+        return Schedule(
+            splits=splits,
+            reduce_stage=rng.choice(stage_opts),
+            double_buffer=rng.random() < 0.5,
+            unroll=rng.choice([1, 2, 4]),
+            vectorize=rng.choice([1, 2, 4, 8]),
+        )
+
+    def mutate(self, schedule: Schedule, rng: random.Random) -> Schedule:
+        """Perturb one knob of an existing schedule (genetic-algorithm
+        mutation operator)."""
+        choice = rng.randrange(4)
+        splits = dict(schedule.splits)
+        if choice == 0 and self._spatial:
+            dim = rng.choice(self._spatial)
+            current = schedule.split_for(dim.name)
+            warp_opts = [
+                f for f in candidate_factors(dim.extent) if f <= self.max_warps_per_block
+            ]
+            splits[dim.name] = DimSplit(
+                warp=rng.choice(warp_opts) if warp_opts else current.warp,
+                seq=current.seq,
+            )
+            return Schedule(
+                splits, schedule.reduce_stage, schedule.double_buffer,
+                schedule.unroll, schedule.vectorize,
+            )
+        if choice == 1 and self._spatial:
+            dim = rng.choice(self._spatial)
+            current = schedule.split_for(dim.name)
+            seq_opts = candidate_factors(dim.extent)
+            splits[dim.name] = DimSplit(warp=current.warp, seq=rng.choice(seq_opts))
+            return Schedule(
+                splits, schedule.reduce_stage, schedule.double_buffer,
+                schedule.unroll, schedule.vectorize,
+            )
+        if choice == 2:
+            stage_opts = [
+                f
+                for f in candidate_factors(max(self._reduce_total, 1))
+                if f <= self.max_reduce_stage
+            ] or [1]
+            return Schedule(
+                splits, rng.choice(stage_opts), schedule.double_buffer,
+                schedule.unroll, schedule.vectorize,
+            )
+        return Schedule(
+            splits,
+            schedule.reduce_stage,
+            not schedule.double_buffer,
+            rng.choice([1, 2, 4]),
+            rng.choice([1, 2, 4, 8]),
+        )
+
+    def size_estimate(self) -> int:
+        """Approximate number of distinct schedules in the space."""
+        total = 2 * 3 * 4  # double_buffer x unroll x vectorize
+        for dim in self._spatial:
+            total *= max(1, len(candidate_factors(dim.extent))) ** 2
+        total *= len(candidate_factors(max(self._reduce_total, 1)))
+        return total
+
+
+def default_schedule(
+    physical: PhysicalMapping, max_warps_per_block: int = 4
+) -> Schedule:
+    """A reasonable untuned schedule: a few warps per block along the
+    widest spatial dimensions, staging 2 reduction tiles."""
+    dims = [d for d in macro_dims(physical) if not d.is_reduce]
+    dims_sorted = sorted(dims, key=lambda d: -d.extent)
+    splits: dict[str, DimSplit] = {}
+    warp_budget = min(4, max_warps_per_block)
+    for dim in dims_sorted:
+        warp = min(warp_budget, 2 if dim.extent >= 2 else 1)
+        warp_budget = max(1, warp_budget // warp)
+        seq = 2 if dim.extent >= 4 * warp else 1
+        splits[dim.name] = DimSplit(warp=warp, seq=seq)
+    return Schedule(splits=splits, reduce_stage=2, double_buffer=True)

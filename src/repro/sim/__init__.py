@@ -1,0 +1,21 @@
+"""Spatial-accelerator simulator substrate.
+
+The paper measures on real GPUs/CPUs; this reproduction substitutes a
+deterministic simulator with two faces:
+
+* :mod:`repro.sim.executor` — *functional* execution of a physical mapping:
+  tiles are gathered from software tensors according to the memory mapping
+  (with trailing padding and diagonal masks) and the intrinsic kernel is
+  invoked per call.  A wrong mapping produces a wrong tensor, so this is
+  the ground truth for mapping semantics.
+* :mod:`repro.sim.timing` — *cycle-level* timing of a scheduled mapping on
+  a hierarchical machine (cores -> sub-cores -> PE array/intrinsic units),
+  capturing occupancy, wave quantisation, capacity limits and bandwidth
+  contention.  This is the "hardware measurement" the analytic performance
+  model of :mod:`repro.model` is validated against (paper Fig 5).
+"""
+
+from repro.sim.executor import execute_mapping
+from repro.sim.timing import simulate_cycles, TimingBreakdown
+
+__all__ = ["execute_mapping", "simulate_cycles", "TimingBreakdown"]

@@ -1,0 +1,112 @@
+"""Affine extraction and evaluation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.affine import AffineExtractionError, extract_affine, iter_vars_in
+from repro.ir.expr import Var, make_expr
+
+
+class TestExtraction:
+    def test_single_var(self):
+        i = Var("i")
+        affine = extract_affine(i)
+        assert affine.coefficient(i) == 1
+        assert affine.const == 0
+
+    def test_linear_combination(self):
+        i, j = Var("i"), Var("j")
+        affine = extract_affine(i * 4 + j * 2 + 7)
+        assert affine.coefficient(i) == 4
+        assert affine.coefficient(j) == 2
+        assert affine.const == 7
+
+    def test_subtraction(self):
+        i, j = Var("i"), Var("j")
+        affine = extract_affine(i - j + 3)
+        assert affine.coefficient(i) == 1
+        assert affine.coefficient(j) == -1
+        assert affine.const == 3
+
+    def test_nested_distribution(self):
+        i, j = Var("i"), Var("j")
+        affine = extract_affine((i + j) * 3)
+        assert affine.coefficient(i) == 3
+        assert affine.coefficient(j) == 3
+
+    def test_repeated_var_accumulates(self):
+        i = Var("i")
+        affine = extract_affine(i * 2 + i)
+        assert affine.coefficient(i) == 3
+
+    def test_strided_conv_index(self):
+        p, r = Var("p"), Var("r")
+        affine = extract_affine(p * 2 + r)
+        assert affine.coefficient(p) == 2
+        assert affine.coefficient(r) == 1
+
+    def test_var_times_var_rejected(self):
+        i, j = Var("i"), Var("j")
+        with pytest.raises(AffineExtractionError):
+            extract_affine(i * j)
+
+    def test_floordiv_rejected(self):
+        i = Var("i")
+        with pytest.raises(AffineExtractionError):
+            extract_affine(i // 2)
+
+    def test_mod_rejected(self):
+        i = Var("i")
+        with pytest.raises(AffineExtractionError):
+            extract_affine(i % 2)
+
+    def test_float_const_rejected(self):
+        i = Var("i")
+        with pytest.raises(AffineExtractionError):
+            extract_affine(i + make_expr(0.5))
+
+    def test_allowed_set_enforced(self):
+        i, j = Var("i"), Var("j")
+        with pytest.raises(AffineExtractionError):
+            extract_affine(i + j, allowed=[i])
+
+    def test_allowed_set_passes(self):
+        i, j = Var("i"), Var("j")
+        affine = extract_affine(i + j, allowed=[i, j])
+        assert set(affine.variables()) == {i, j}
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        i, j = Var("i"), Var("j")
+        affine = extract_affine(i * 4 + j + 1)
+        assert affine.evaluate({i: 2, j: 3}) == 12
+
+    def test_evaluate_missing_var(self):
+        i = Var("i")
+        affine = extract_affine(i + 1)
+        with pytest.raises(KeyError):
+            affine.evaluate({})
+
+    @given(
+        st.integers(-20, 20), st.integers(-20, 20), st.integers(-50, 50),
+        st.integers(-10, 10), st.integers(-10, 10),
+    )
+    def test_roundtrip_matches_direct(self, a, b, c, x, y):
+        i, j = Var("i"), Var("j")
+        affine = extract_affine(i * a + j * b + c)
+        assert affine.evaluate({i: x, j: y}) == a * x + b * y + c
+
+
+class TestIterVarsIn:
+    def test_finds_vars_through_mod(self):
+        i, j = Var("i"), Var("j")
+        expr = (i * 4 + j) % 16
+        assert iter_vars_in(expr, [i, j]) == {i, j}
+
+    def test_restricts_to_candidates(self):
+        i, j = Var("i"), Var("j")
+        assert iter_vars_in(i + j, [i]) == {i}
+
+    def test_empty_for_constant(self):
+        assert iter_vars_in(make_expr(5), [Var("i")]) == set()

@@ -1,0 +1,76 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mappings", "NOPE"])
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(SystemExit, match="expected k=v"):
+            main(["mappings", "GMM", "--params", "m8"])
+
+    def test_non_integer_param_rejected(self):
+        with pytest.raises(SystemExit, match="must be an integer"):
+            main(["mappings", "GMM", "--params", "m=eight"])
+
+
+class TestCommands:
+    def test_list_hardware(self, capsys):
+        assert main(["list-hardware"]) == 0
+        out = capsys.readouterr().out
+        assert "v100" in out and "mali_g76" in out
+
+    def test_list_intrinsics_filtered(self, capsys):
+        assert main(["list-intrinsics", "--target", "tensorcore"]) == 0
+        out = capsys.readouterr().out
+        assert "wmma_m16n16k16_f16" in out
+        assert "mali" not in out
+
+    def test_mappings_gemm(self, capsys):
+        assert main(["mappings", "GMM", "--params", "m=32", "n=32", "k=32"]) == 0
+        out = capsys.readouterr().out
+        assert "total: 3" in out  # one mapping per WMMA shape
+        assert "[i1, i2, r1]" in out
+
+    def test_mappings_single_intrinsic(self, capsys):
+        assert main([
+            "mappings", "C2D", "--intrinsic", "wmma_m16n16k16_f16",
+            "--params", "n=1", "c=4", "k=4", "h=6", "w=6", "--limit", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "35 valid mappings" in out
+        assert "... 33 more" in out
+
+    def test_compile_small(self, capsys):
+        assert main([
+            "compile", "GMM", "--hardware", "v100",
+            "--params", "m=64", "n=64", "k=64",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "simulated latency" in out
+        assert "mapping:" in out
+
+    def test_compile_with_source(self, capsys):
+        assert main([
+            "compile", "GMM", "--hardware", "v100", "--source",
+            "--params", "m=64", "n=64", "k=64",
+        ]) == 0
+        assert "wmma::mma_sync" in capsys.readouterr().out
+
+    def test_network_with_baseline(self, capsys):
+        assert main([
+            "network", "mi_lstm", "--hardware", "v100",
+            "--baseline", "pytorch",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mi_lstm on v100" in out
+        assert "speedup" in out

@@ -1,0 +1,151 @@
+"""ReduceComputation structure, validation, access matrices and reference."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    Tensor,
+    compute,
+    reduce_axis,
+    spatial_axis,
+)
+
+
+def small_gemm(m=3, n=4, k=5):
+    i, j = spatial_axis(m, "i"), spatial_axis(n, "j")
+    kk = reduce_axis(k, "k")
+    a, b = Tensor("A", (m, k)), Tensor("B", (k, n))
+    out = Tensor("out", (m, n))
+    return compute("gemm", [i, j, kk], out[i, j], [a[i, kk], b[kk, j]])
+
+
+def small_conv2d(n=1, c=2, k=3, p=4, q=4, r=3, s=3):
+    nn, kk = spatial_axis(n, "n"), spatial_axis(k, "k")
+    pp, qq = spatial_axis(p, "p"), spatial_axis(q, "q")
+    cc, rr, ss = reduce_axis(c, "c"), reduce_axis(r, "r"), reduce_axis(s, "s")
+    img = Tensor("image", (n, c, p + r - 1, q + s - 1))
+    wgt = Tensor("weight", (k, c, r, s))
+    out = Tensor("out", (n, k, p, q))
+    return compute(
+        "conv2d",
+        [nn, kk, pp, qq, cc, rr, ss],
+        out[nn, kk, pp, qq],
+        [img[nn.var, cc.var, pp.var + rr.var, qq.var + ss.var], wgt[kk, cc, rr, ss]],
+    )
+
+
+class TestValidation:
+    def test_output_with_reduce_var_rejected(self):
+        i = spatial_axis(4, "i")
+        k = reduce_axis(4, "k")
+        a = Tensor("A", (4, 4))
+        out = Tensor("out", (4, 4))
+        with pytest.raises(ValueError, match="reduction variables"):
+            compute("bad", [i, k], out[i, k], [a[i, k]])
+
+    def test_unknown_combine_rejected(self):
+        i = spatial_axis(4, "i")
+        a, out = Tensor("A", (4,)), Tensor("out", (4,))
+        with pytest.raises(ValueError, match="combine"):
+            compute("bad", [i], out[i], [a[i]], combine="nope")
+
+    def test_reduce_required_when_reduce_iters(self):
+        i, k = spatial_axis(4, "i"), reduce_axis(4, "k")
+        a, out = Tensor("A", (4, 4)), Tensor("out", (4,))
+        with pytest.raises(ValueError, match="reduce"):
+            compute("bad", [i, k], out[i], [a[i, k]], reduce=None)
+
+    def test_nonpositive_extent_rejected(self):
+        with pytest.raises(ValueError):
+            spatial_axis(0, "i")
+
+    def test_access_arity_checked(self):
+        a = Tensor("A", (4, 4))
+        i = spatial_axis(4, "i")
+        with pytest.raises(ValueError, match="indices"):
+            a[i]
+
+
+class TestStructure:
+    def test_spatial_reduce_split(self):
+        comp = small_conv2d()
+        assert [iv.name for iv in comp.spatial_iters] == ["n", "k", "p", "q"]
+        assert [iv.name for iv in comp.reduce_iters] == ["c", "r", "s"]
+
+    def test_tensors_output_first(self):
+        comp = small_gemm()
+        assert [t.name for t in comp.tensors] == ["out", "A", "B"]
+
+    def test_total_iterations(self):
+        comp = small_gemm(3, 4, 5)
+        assert comp.total_iterations() == 60
+
+    def test_flop_count_mac(self):
+        comp = small_gemm(3, 4, 5)
+        assert comp.flop_count() == 120  # 2 flops per MAC
+
+    def test_iter_extents(self):
+        comp = small_gemm(3, 4, 5)
+        extents = comp.iter_extents()
+        assert sorted(extents.values()) == [3, 4, 5]
+
+
+class TestAccessMatrix:
+    def test_gemm_matrix(self):
+        comp = small_gemm()
+        x = comp.access_matrix()
+        # rows: out, A, B; cols: i, j, k
+        assert x.tolist() == [[1, 1, 0], [1, 0, 1], [0, 1, 1]]
+
+    def test_conv2d_matrix(self):
+        comp = small_conv2d()
+        x = comp.access_matrix()
+        # rows: out, image, weight; cols: n, k, p, q, c, r, s
+        assert x.tolist() == [
+            [1, 1, 1, 1, 0, 0, 0],
+            [1, 0, 1, 1, 1, 1, 1],
+            [0, 1, 0, 0, 1, 1, 1],
+        ]
+
+
+class TestReference:
+    def test_gemm_matches_numpy(self):
+        comp = small_gemm(3, 4, 5)
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((3, 5))
+        b = rng.standard_normal((5, 4))
+        out = comp.reference({"A": a, "B": b})
+        assert np.allclose(out, a @ b)
+
+    def test_conv2d_matches_direct(self):
+        comp = small_conv2d(1, 2, 3, 4, 4, 3, 3)
+        rng = np.random.default_rng(1)
+        img = rng.standard_normal((1, 2, 6, 6))
+        wgt = rng.standard_normal((3, 2, 3, 3))
+        out = comp.reference({"image": img, "weight": wgt})
+        expected = np.zeros((1, 3, 4, 4))
+        for k in range(3):
+            for p in range(4):
+                for q in range(4):
+                    expected[0, k, p, q] = np.sum(
+                        img[0, :, p : p + 3, q : q + 3] * wgt[k]
+                    )
+        assert np.allclose(out, expected)
+
+    def test_missing_feed_raises(self):
+        comp = small_gemm()
+        with pytest.raises(KeyError, match="B"):
+            comp.reference({"A": np.zeros((3, 5))})
+
+    def test_wrong_shape_raises(self):
+        comp = small_gemm()
+        with pytest.raises(ValueError, match="shape"):
+            comp.reference({"A": np.zeros((2, 2)), "B": np.zeros((5, 4))})
+
+    def test_max_reduce(self):
+        i, k = spatial_axis(3, "i"), reduce_axis(4, "k")
+        a = Tensor("A", (3, 4))
+        out = Tensor("out", (3,))
+        comp = compute("rowmax", [i, k], out[i], [a[i, k]], combine="identity", reduce="max")
+        data = np.arange(12, dtype=float).reshape(3, 4)
+        assert np.allclose(comp.reference({"A": data}), data.max(axis=1))

@@ -1,0 +1,133 @@
+"""Functional execution of physical mappings against direct references.
+
+These tests are the semantic ground truth of the whole mapping layer:
+every enumerated-valid mapping must compute exactly the reference tensor,
+including trailing-padding and diagonal-mask cases, and known-invalid
+mappings must produce wrong tensors when forced through the executor.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.tensorcore import make_wmma_intrinsic
+from repro.mapping.generation import enumerate_mappings
+from repro.mapping.matrices import MatchingMatrix
+from repro.mapping.mapping import ComputeMapping
+from repro.mapping.physical import lower_to_physical
+from repro.sim.executor import execute_mapping
+
+from conftest import (
+    make_small_c1d,
+    make_small_conv2d,
+    make_small_depthwise,
+    make_small_gemm,
+    make_small_gemv,
+)
+
+
+def feeds_for(comp, seed=0):
+    rng = np.random.default_rng(seed)
+    return {t.name: rng.standard_normal(t.shape) for t in comp.input_tensors}
+
+
+def check_all_mappings(comp, intrinsic):
+    feeds = feeds_for(comp)
+    reference = comp.reference(feeds)
+    mappings = enumerate_mappings(comp, intrinsic)
+    assert mappings
+    for mapping in mappings:
+        got = execute_mapping(lower_to_physical(mapping), feeds)
+        assert np.allclose(got, reference, atol=1e-9), mapping.describe()
+
+
+class TestAllValidMappingsCorrect:
+    def test_gemm(self, tensorcore):
+        check_all_mappings(make_small_gemm(5, 6, 7), tensorcore)
+
+    def test_gemv(self, tensorcore):
+        check_all_mappings(make_small_gemv(9, 5), tensorcore)
+
+    def test_conv1d(self, tensorcore):
+        check_all_mappings(make_small_c1d(), tensorcore)
+
+    def test_conv2d_all_35(self, tensorcore):
+        check_all_mappings(make_small_conv2d(2, 3, 4, 5, 5), tensorcore)
+
+    def test_strided_conv2d(self, tensorcore):
+        check_all_mappings(make_small_conv2d(1, 2, 3, 3, 3, stride=2), tensorcore)
+
+    def test_depthwise_with_diagonals(self, tensorcore):
+        check_all_mappings(make_small_depthwise(2, 5, 4, 4), tensorcore)
+
+    def test_small_intrinsic_with_padding(self):
+        # 2x2x2 intrinsic on odd extents exercises trailing padding hard.
+        intr = make_wmma_intrinsic(2, 2, 2)
+        check_all_mappings(make_small_conv2d(1, 1, 4, 2, 2, 3, 3), intr)
+
+    def test_other_wmma_shapes(self):
+        for shape in ((32, 8, 16), (8, 32, 16)):
+            intr = make_wmma_intrinsic(*shape)
+            check_all_mappings(make_small_gemm(9, 9, 9), intr)
+
+    def test_vnni(self):
+        from repro.isa import get_intrinsic
+
+        check_all_mappings(make_small_conv2d(), get_intrinsic("avx512_dpbusds_16x4"))
+
+    def test_mali_simd_depthwise(self):
+        from repro.isa import get_intrinsic
+
+        check_all_mappings(
+            make_small_depthwise(1, 6, 3, 3), get_intrinsic("mali_dot_simd_4x4")
+        )
+
+
+class TestInvalidMappingsProduceWrongResults:
+    def test_n_k_fused_is_inexecutable(self, tensorcore):
+        """Forcing the paper's counter-example (n and k on the same
+        intrinsic iteration) through the executor must NOT reproduce the
+        reference — validation is not vacuous.  Here the weight operand's
+        tile cannot even be addressed (k never reaches Src2's tile dims),
+        so execution fails outright."""
+        comp = make_small_conv2d(2, 3, 4, 5, 5)
+        y = MatchingMatrix.from_groups({0: (0, 1, 2, 3), 2: (4, 5, 6)}, 3, 7)
+        phys = lower_to_physical(ComputeMapping(comp, tensorcore, y))
+        feeds = feeds_for(comp)
+        with pytest.raises(KeyError, match="semantically broken"):
+            execute_mapping(phys, feeds)
+
+    def test_swapped_gemm_gives_wrong_tensor(self, tensorcore):
+        comp = make_small_gemm(4, 6, 5)  # non-square so the swap shows
+        y = MatchingMatrix.from_groups({0: (1,), 1: (0,), 2: (2,)}, 3, 3)
+        phys = lower_to_physical(ComputeMapping(comp, tensorcore, y))
+        feeds = feeds_for(comp)
+        with pytest.raises(Exception):
+            # Either the gather fails (out-of-range decode) or the result
+            # is wrong; both prove the mapping is bad.
+            got = execute_mapping(phys, feeds)
+            assert not np.allclose(got, comp.reference(feeds))
+            raise AssertionError("wrong result")
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(1, 2),
+    c=st.integers(1, 3),
+    k=st.integers(1, 4),
+    p=st.integers(1, 4),
+    r=st.integers(1, 3),
+)
+def test_property_random_conv_shapes_execute_correctly(n, c, k, p, r):
+    """Any small conv shape: the first and last valid mappings execute
+    to the reference (full sweep is covered by the explicit tests)."""
+    from repro.isa import get_intrinsic
+
+    comp = make_small_conv2d(n, c, k, p, p, r, r)
+    intr = get_intrinsic("wmma_m16n16k16_f16")
+    mappings = enumerate_mappings(comp, intr)
+    feeds = feeds_for(comp, seed=n * 100 + c * 10 + k)
+    reference = comp.reference(feeds)
+    for mapping in (mappings[0], mappings[-1]):
+        got = execute_mapping(lower_to_physical(mapping), feeds)
+        assert np.allclose(got, reference, atol=1e-9)

@@ -1,0 +1,131 @@
+"""Expression node construction, folding and traversal."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.expr import (
+    Add,
+    FloorDiv,
+    IntImm,
+    Mod,
+    Mul,
+    Sub,
+    Var,
+    const,
+    make_expr,
+)
+
+
+class TestConstruction:
+    def test_int_const(self):
+        assert make_expr(5) == IntImm(5)
+
+    def test_float_const(self):
+        assert make_expr(2.5).value == 2.5
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            make_expr(True)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(TypeError):
+            make_expr("x")
+
+    def test_const_alias(self):
+        assert const(3) == IntImm(3)
+
+    def test_vars_with_same_name_are_distinct(self):
+        assert Var("i") != Var("i")
+
+    def test_var_identity_is_stable(self):
+        v = Var("i")
+        assert v == v
+        assert hash(v) == hash(v)
+
+
+class TestOperators:
+    def test_add(self):
+        v = Var("i")
+        expr = v + 1
+        assert isinstance(expr, Add)
+        assert expr.b == IntImm(1)
+
+    def test_radd(self):
+        v = Var("i")
+        expr = 1 + v
+        assert isinstance(expr, Add)
+        assert expr.a == IntImm(1)
+
+    def test_sub_and_rsub(self):
+        v = Var("i")
+        assert isinstance(v - 1, Sub)
+        assert isinstance(2 - v, Sub)
+
+    def test_mul(self):
+        v = Var("i")
+        assert isinstance(v * 3, Mul)
+
+    def test_floordiv_and_mod(self):
+        v = Var("i")
+        assert isinstance(v // 4, FloorDiv)
+        assert isinstance(v % 4, Mod)
+
+    def test_neg(self):
+        v = Var("i")
+        expr = -v
+        assert isinstance(expr, Mul)
+        assert expr.a == IntImm(-1)
+
+
+class TestFolding:
+    def test_constant_add_folds(self):
+        assert make_expr(2) + 3 == IntImm(5)
+
+    def test_constant_mul_folds(self):
+        assert make_expr(4) * 5 == IntImm(20)
+
+    def test_add_zero_identity(self):
+        v = Var("i")
+        assert v + 0 is v
+        assert 0 + v is v
+
+    def test_mul_one_identity(self):
+        v = Var("i")
+        assert v * 1 is v
+        assert 1 * v is v
+
+    def test_mul_zero_annihilates(self):
+        v = Var("i")
+        assert v * 0 == IntImm(0)
+
+    def test_floordiv_one(self):
+        v = Var("i")
+        assert v // 1 is v
+
+    def test_constant_floordiv_and_mod(self):
+        assert make_expr(7) // 2 == IntImm(3)
+        assert make_expr(7) % 2 == IntImm(1)
+
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    def test_fold_matches_python_arithmetic(self, a, b):
+        assert (make_expr(a) + b) == IntImm(a + b)
+        assert (make_expr(a) - b) == IntImm(a - b)
+        assert (make_expr(a) * b) == IntImm(a * b)
+
+
+class TestTraversal:
+    def test_walk_visits_all_nodes(self):
+        i, j = Var("i"), Var("j")
+        expr = i * 4 + j
+        nodes = list(expr.walk())
+        assert i in nodes
+        assert j in nodes
+        assert expr in nodes
+
+    def test_children_of_leaf_empty(self):
+        assert Var("i").children() == ()
+        assert IntImm(1).children() == ()
+
+    def test_repr_is_readable(self):
+        i, j = Var("i"), Var("j")
+        assert repr(i * 4 + j) == "((i * 4) + j)"

@@ -1,0 +1,84 @@
+"""Matching matrices and binary matrix algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.mapping.matrices import MatchingMatrix, binary_matmul
+
+
+binary = st.integers(0, 1)
+
+
+class TestBinaryMatmul:
+    def test_basic(self):
+        a = np.array([[1, 0], [0, 1]], dtype=np.int8)
+        b = np.array([[1, 1], [0, 0]], dtype=np.int8)
+        assert binary_matmul(a, b).tolist() == [[1, 1], [0, 0]]
+
+    def test_saturates(self):
+        a = np.ones((1, 3), dtype=np.int8)
+        b = np.ones((3, 1), dtype=np.int8)
+        assert binary_matmul(a, b).tolist() == [[1]]
+
+    @given(
+        arrays(np.int8, (3, 4), elements=binary),
+        arrays(np.int8, (4, 5), elements=binary),
+    )
+    def test_matches_boolean_semantics(self, a, b):
+        got = binary_matmul(a, b)
+        expected = (a.astype(bool) @ b.astype(bool)).astype(np.int8)
+        assert (got == expected).all()
+
+    @given(
+        arrays(np.int8, (3, 3), elements=binary),
+        arrays(np.int8, (3, 3), elements=binary),
+        arrays(np.int8, (3, 3), elements=binary),
+    )
+    def test_associative(self, a, b, c):
+        left = binary_matmul(binary_matmul(a, b), c)
+        right = binary_matmul(a, binary_matmul(b, c))
+        assert (left == right).all()
+
+
+class TestMatchingMatrix:
+    def test_groups_and_targets(self):
+        y = MatchingMatrix(np.array([[1, 0, 1], [0, 1, 0]], dtype=np.int8))
+        assert y.group_of(0) == (0, 2)
+        assert y.group_of(1) == (1,)
+        assert y.targets_of(0) == (0,)
+        assert y.targets_of(1) == (1,)
+
+    def test_unmapped_and_covered(self):
+        y = MatchingMatrix(np.array([[1, 0, 0], [0, 0, 0]], dtype=np.int8))
+        assert y.unmapped_software() == (1, 2)
+        assert y.mapped_software() == (0,)
+        assert y.covered_intrinsic() == (0,)
+
+    def test_diagonal_columns(self):
+        y = MatchingMatrix(np.array([[1, 1], [0, 1]], dtype=np.int8))
+        assert y.diagonal_columns() == (1,)
+
+    def test_from_groups_roundtrip(self):
+        y = MatchingMatrix.from_groups({0: (0, 2), 1: (1,)}, 2, 3)
+        assert y.group_of(0) == (0, 2)
+        assert y.group_of(1) == (1,)
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError, match="binary"):
+            MatchingMatrix(np.array([[2, 0]], dtype=np.int8))
+
+    def test_wrong_ndim_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            MatchingMatrix(np.zeros(3, dtype=np.int8))
+
+    @given(arrays(np.int8, (3, 7), elements=binary))
+    def test_group_and_target_consistency(self, data):
+        y = MatchingMatrix(data)
+        for t in range(3):
+            for c in y.group_of(t):
+                assert t in y.targets_of(c)
+        for c in range(7):
+            for t in y.targets_of(c):
+                assert c in y.group_of(t)

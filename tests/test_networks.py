@@ -1,0 +1,70 @@
+"""Network graph definitions and op accounting."""
+
+import pytest
+
+from repro.frontends.networks import (
+    NETWORKS,
+    NON_TENSOR_KINDS,
+    NetworkOp,
+    expand_ops,
+    get_network,
+)
+
+
+class TestInventory:
+    def test_six_networks(self):
+        assert set(NETWORKS) == {
+            "shufflenet", "resnet18", "resnet50", "mobilenet_v1",
+            "bert_base", "mi_lstm",
+        }
+
+    def test_unknown_network(self):
+        with pytest.raises(KeyError, match="unknown network"):
+            get_network("vgg")
+
+    @pytest.mark.parametrize("name", sorted(NETWORKS))
+    def test_ops_well_formed(self, name):
+        for op in expand_ops(get_network(name)):
+            if op.is_tensor_op:
+                comp = op.computation(batch=1)
+                assert comp.total_iterations() > 0
+            else:
+                assert op.kind in NON_TENSOR_KINDS
+                assert op.elements(1) > 0
+
+    @pytest.mark.parametrize("name", sorted(NETWORKS))
+    def test_has_both_tensor_and_non_tensor_ops(self, name):
+        ops = list(expand_ops(get_network(name)))
+        tensor = [op for op in ops if op.is_tensor_op]
+        non_tensor = [op for op in ops if not op.is_tensor_op]
+        assert tensor and non_tensor
+
+    def test_mobilenet_alternates_depthwise_pointwise(self):
+        ops = [op for op in get_network("mobilenet_v1") if op.is_tensor_op]
+        kinds = [op.kind for op in ops]
+        assert kinds.count("DEP") == 13
+        assert kinds.count("C2D") == 14  # stem + 13 pointwise
+
+    def test_mi_lstm_linears_are_matrix_vector(self):
+        ops = [op for op in get_network("mi_lstm") if op.is_tensor_op]
+        assert ops
+        assert all(op.kind == "GMV" for op in ops)
+
+    def test_bert_is_gemm_dominated(self):
+        ops = [op for op in expand_ops(get_network("bert_base")) if op.is_tensor_op]
+        assert all(op.kind == "GMM" for op in ops)
+        assert len(ops) == 12 * 8 + 1  # 8 GEMMs per layer + pooler
+
+    def test_shufflenet_has_group_and_depthwise(self):
+        kinds = {op.kind for op in get_network("shufflenet")}
+        assert "GRP" in kinds and "DEP" in kinds and "shuffle" in kinds
+
+    def test_batch_scaling(self):
+        op = next(o for o in get_network("resnet18") if o.kind == "C2D")
+        c1 = op.computation(batch=1)
+        c16 = op.computation(batch=16)
+        assert c16.total_iterations() == 16 * c1.total_iterations()
+
+    def test_repeat_expansion(self):
+        op = NetworkOp("relu", dict(elements=10), repeat=3)
+        assert len(list(expand_ops([op]))) == 3

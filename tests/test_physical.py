@@ -1,0 +1,150 @@
+"""Physical lowering: splits, padding, addresses, utilization, diagonals."""
+
+import pytest
+
+from repro.ir import Tensor, compute, reduce_axis, spatial_axis
+from repro.isa.tensorcore import make_wmma_intrinsic
+from repro.mapping.generation import enumerate_mappings
+from repro.mapping.matrices import MatchingMatrix
+from repro.mapping.mapping import ComputeMapping
+from repro.mapping.physical import lower_to_physical
+
+from conftest import make_small_conv2d, make_small_depthwise, make_small_gemm
+
+
+def figure3_setup():
+    """The paper's running example: a 1x4x2x2 conv with 1x3x3 weights on a
+    simplified 2x2x2 Tensor Core."""
+    n, k = spatial_axis(1, "n"), spatial_axis(4, "k")
+    p, q = spatial_axis(2, "p"), spatial_axis(2, "q")
+    c, r, s = reduce_axis(1, "c"), reduce_axis(3, "r"), reduce_axis(3, "s")
+    img = Tensor("image", (1, 1, 4, 4))
+    wgt = Tensor("weight", (4, 1, 3, 3))
+    out = Tensor("out", (1, 4, 2, 2))
+    comp = compute(
+        "conv2d",
+        [n, k, p, q, c, r, s],
+        out[n, k, p, q],
+        [img[n.var, c.var, p.var + r.var, q.var + s.var], wgt[k, c, r, s]],
+    )
+    intr = make_wmma_intrinsic(2, 2, 2)
+    y = MatchingMatrix.from_groups({0: (0, 2, 3), 1: (1,), 2: (4, 5, 6)}, 3, 7)
+    return lower_to_physical(ComputeMapping(comp, intr, y))
+
+
+class TestFigure3Example:
+    def test_splits(self):
+        phys = figure3_setup()
+        # i1: fused (n, p, q) extent 4 -> 2 tiles of 2
+        # i2: k extent 4 -> 2 tiles; r1: fused (c, r, s) extent 9 -> 5 tiles (padded)
+        assert [s.fused_extent for s in phys.splits] == [4, 4, 9]
+        assert [s.num_tiles for s in phys.splits] == [2, 2, 5]
+        assert [s.padded for s in phys.splits] == [False, False, True]
+
+    def test_fused_index_expressions(self):
+        """Fig 3 part g: i1 <- (n*4 + p*2 + q), r1 <- (c*9 + r*3 + s).
+        The built expression is the Horner form of the same polynomial;
+        equality is checked pointwise over the whole domain."""
+        from itertools import product
+
+        from repro.ir.visitor import evaluate
+
+        phys = figure3_setup()
+        ivs = phys.computation.iter_vars
+        n, k, p, q, c, r, s = (iv.var for iv in ivs)
+        f_i1 = phys.compute.fused_index_expr(0)
+        f_r1 = phys.compute.fused_index_expr(2)
+        for nv, pv, qv, cv, rv, sv in product(range(1), range(2), range(2),
+                                              range(1), range(3), range(3)):
+            env = {n: nv, p: pv, q: qv, c: cv, r: rv, s: sv}
+            assert evaluate(f_i1, env) == nv * 4 + pv * 2 + qv
+            assert evaluate(f_r1, env) == cv * 9 + rv * 3 + sv
+
+    def test_addresses_match_figure3h(self):
+        phys = figure3_setup()
+        addr_a = phys.operand_address("Src1")
+        addr_b = phys.operand_address("Src2")
+        addr_c = phys.operand_address("Dst")
+        # addr_a = (fused_i1 // 2) * 20 + (fused_r1 // 2) * 4
+        assert "* 20" in repr(addr_a.base)
+        assert "// 2" in repr(addr_a.base)
+        # addr_b = (fused_r1 // 2) * 8 + (k // 2) * 4
+        assert "* 8" in repr(addr_b.base)
+        # addr_c = (fused_i1 // 2) * 8 + (k // 2) * 4
+        assert "* 8" in repr(addr_c.base)
+        # Row stride is the tile row length (Fig 3h: stride = 2); the
+        # innermost tile dimension is unit-stride as the load intrinsics
+        # require.
+        assert addr_a.strides == (2, 1)
+        assert addr_b.strides == (2, 1)
+        assert addr_c.strides == (2, 1)
+
+    def test_intrinsic_calls_and_utilization(self):
+        phys = figure3_setup()
+        assert phys.num_intrinsic_calls() == 2 * 2 * 5
+        # 144 useful scalar MACs (4 x 4 x 9 loop points) out of
+        # 20 calls x 8 MAC slots = 160 provided.
+        assert phys.utilization() == pytest.approx(144 / 160)
+        assert phys.has_padding()
+
+
+class TestPhysicalGeneral:
+    def test_gemm_no_padding_16(self, tensorcore):
+        comp = make_small_gemm(32, 32, 32)
+        (mapping,) = enumerate_mappings(comp, tensorcore)
+        phys = lower_to_physical(mapping)
+        assert not phys.has_padding()
+        assert phys.utilization() == pytest.approx(1.0)
+        assert phys.num_intrinsic_calls() == 8  # 2 x 2 x 2 tiles
+
+    def test_outer_iters(self, tensorcore):
+        comp = make_small_conv2d()
+        mappings = enumerate_mappings(comp, tensorcore)
+        with_outer = [m for m in mappings if lower_to_physical(m).outer_iters]
+        assert with_outer, "some mappings must leave iterations as outer loops"
+
+    def test_memory_mapping_complete(self, tensorcore):
+        comp = make_small_conv2d()
+        phys = lower_to_physical(enumerate_mappings(comp, tensorcore)[0])
+        shm = phys.to_software_hardware_mapping()
+        for operand in ("Dst", "Src1", "Src2"):
+            assert shm.memory_for(operand) is not None
+        with pytest.raises(KeyError):
+            shm.memory_for("Src9")
+
+    def test_describe_mentions_padding_and_calls(self, tensorcore):
+        phys = figure3_setup()
+        text = phys.describe()
+        assert "padded" in text
+        assert "intrinsic calls" in text
+
+
+class TestDiagonalAccounting:
+    def test_diagonal_fraction_below_one(self, tensorcore):
+        comp = make_small_depthwise(k=32)
+        diag = [
+            m for m in enumerate_mappings(comp, tensorcore)
+            if m.matching.diagonal_columns()
+        ]
+        assert diag
+        phys = lower_to_physical(diag[0])
+        assert 0 < phys.diagonal_call_fraction() < 1.0
+
+    def test_no_diagonal_fraction_is_one(self, tensorcore):
+        phys = lower_to_physical(
+            enumerate_mappings(make_small_gemm(), tensorcore)[0]
+        )
+        assert phys.diagonal_call_fraction() == 1.0
+
+    def test_tile_var_values(self, tensorcore):
+        comp = make_small_depthwise(k=32)
+        diag = [
+            m for m in enumerate_mappings(comp, tensorcore)
+            if m.matching.diagonal_columns()
+        ]
+        phys = lower_to_physical(diag[0])
+        c = diag[0].matching.diagonal_columns()[0]
+        t_a, t_b = diag[0].matching.targets_of(c)
+        var = comp.iter_vars[c].var
+        vals = phys.tile_var_values(t_a, 0, var)
+        assert vals and all(0 <= v < 32 for v in vals)

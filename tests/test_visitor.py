@@ -1,0 +1,61 @@
+"""Expression substitution and structural evaluation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.expr import Call, Cast, IntImm, Var
+from repro.ir.visitor import evaluate, substitute
+
+
+class TestSubstitute:
+    def test_simple(self):
+        i, j = Var("i"), Var("j")
+        expr = i * 4 + 1
+        result = substitute(expr, {i: j})
+        assert evaluate(result, {j: 2}) == 9
+
+    def test_substitute_with_expression(self):
+        i, o = Var("i"), Var("o")
+        expr = i + 1
+        result = substitute(expr, {i: o * 16 + 3})
+        assert evaluate(result, {o: 2}) == 36
+
+    def test_untouched_returns_same_object(self):
+        i, j = Var("i"), Var("j")
+        expr = i + 1
+        assert substitute(expr, {j: IntImm(0)}) is expr
+
+    def test_folding_applies(self):
+        i = Var("i")
+        result = substitute(i * 4, {i: IntImm(0)})
+        assert result == IntImm(0)
+
+    def test_call_and_cast(self):
+        i, j = Var("i"), Var("j")
+        expr = Cast("float16", Call("f", (i,)))
+        result = substitute(expr, {i: j})
+        assert isinstance(result, Cast)
+        assert result.value.args == (j,)
+
+
+class TestEvaluate:
+    def test_arithmetic(self):
+        i = Var("i")
+        assert evaluate(i * 3 + 2, {i: 4}) == 14
+
+    def test_floordiv_mod(self):
+        i = Var("i")
+        assert evaluate(i // 4, {i: 11}) == 2
+        assert evaluate(i % 4, {i: 11}) == 3
+
+    def test_missing_binding(self):
+        with pytest.raises(KeyError):
+            evaluate(Var("i"), {})
+
+    @given(st.integers(0, 1000), st.integers(1, 64))
+    def test_div_mod_decomposition(self, value, base):
+        i = Var("i")
+        expr_div = i // base
+        expr_mod = i % base
+        env = {i: value}
+        assert evaluate(expr_div, env) * base + evaluate(expr_mod, env) == value
