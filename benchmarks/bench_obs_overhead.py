@@ -1,0 +1,137 @@
+"""Micro-benchmark: cost of the observability layer when it is disabled.
+
+Every hot path of the pipeline is unconditionally instrumented (spans in
+the compiler/tuner/enumerator, metric updates in the simulator and
+validator).  The design contract is that the *disabled* fast path — one
+module-global check returning a shared no-op — is effectively free, so
+observability can stay compiled-in everywhere.
+
+A naive A/B wall-time comparison of two identical binaries only measures
+timer noise, so the overhead is bounded from first principles instead:
+
+1. run once with obs *enabled* to count every instrumentation hit a
+   compile performs (spans entered, metric updates issued);
+2. measure the per-hit cost of the *disabled* primitives with ``timeit``
+   (including the Python call overhead, which over-counts in our favour);
+3. assert  ``hits x per-hit-cost  <  5%``  of the disabled compile's
+   wall time.
+
+Runnable standalone (``pytest benchmarks/bench_obs_overhead.py``) and
+re-exported by ``tests/test_obs_overhead.py`` so the bound also holds
+under the tier-1 command.
+"""
+
+from __future__ import annotations
+
+import timeit
+
+import repro.obs as obs
+from repro.compiler import amos_compile
+from repro.explore.tuner import TunerConfig
+from repro.frontends.operators import make_operator
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+#: Enough exploration to exercise every instrumented stage, small enough
+#: for a test-suite budget.
+BENCH_CONFIG = TunerConfig(population=8, generations=3)
+
+#: Metric updates issued per simulate_cycles call on the feasible path
+#: (1 runs counter + 4 component histograms + 1 bound counter).
+_METRIC_HITS_PER_SIM = 6
+#: Metric updates per validate_mapping call (calls + accepted/rejected).
+_METRIC_HITS_PER_VALIDATION = 2
+#: Slack for per-enumeration and per-compile counters not derivable from
+#: one counter value (funnel bookkeeping, enumerate counters, ...).
+_METRIC_HITS_SLACK = 64
+
+
+def measure_disabled_overhead() -> dict[str, float]:
+    """Estimate the disabled-obs overhead of one ``amos_compile`` run.
+
+    Returns a dict with ``compile_s`` (disabled wall time),
+    ``overhead_s`` (estimated instrumentation cost at the disabled fast
+    path) and ``overhead_fraction``.
+    """
+    comp = make_operator("GMM", m=64, n=64, k=64)
+
+    was_enabled = obs.enabled()
+    try:
+        # --- disabled compile wall time (best of 3, after warm-up) ----
+        obs.disable()
+        obs.reset()
+        amos_compile(comp, "v100", BENCH_CONFIG)
+        compile_s = min(
+            timeit.repeat(
+                lambda: amos_compile(comp, "v100", BENCH_CONFIG),
+                number=1,
+                repeat=3,
+            )
+        )
+
+        # --- instrumentation hit counts from one enabled run ----------
+        obs.reset()
+        obs.enable()
+        amos_compile(comp, "v100", BENCH_CONFIG)
+        span_hits = len(obs.get_tracer().spans())
+        registry = obs.get_registry()
+        metric_hits = (
+            _METRIC_HITS_PER_SIM * registry.counter("sim.runs").value
+            + _METRIC_HITS_PER_VALIDATION
+            * registry.counter("mapping.validation.calls").value
+            + registry.counter("model.predictions").value
+            + registry.counter("tuner.measurements").value
+            + _METRIC_HITS_SLACK
+        )
+        obs.disable()
+        obs.reset()
+
+        # --- per-hit disabled fast-path costs -------------------------
+        n = 100_000
+
+        def span_hit() -> None:
+            with obs_trace.span("bench"):
+                pass
+
+        def metric_hit() -> None:
+            obs_metrics.counter("bench").inc()
+
+        span_cost_s = timeit.timeit(span_hit, number=n) / n
+        metric_cost_s = timeit.timeit(metric_hit, number=n) / n
+    finally:
+        if was_enabled:
+            obs.enable()
+        else:
+            obs.disable()
+        obs.reset()
+
+    overhead_s = span_hits * span_cost_s + metric_hits * metric_cost_s
+    return {
+        "compile_s": compile_s,
+        "span_hits": float(span_hits),
+        "metric_hits": float(metric_hits),
+        "span_cost_ns": span_cost_s * 1e9,
+        "metric_cost_ns": metric_cost_s * 1e9,
+        "overhead_s": overhead_s,
+        "overhead_fraction": overhead_s / compile_s if compile_s else 0.0,
+    }
+
+
+def check_disabled_overhead_bound(max_fraction: float = 0.05) -> dict[str, float]:
+    """Assert the disabled-obs overhead bound; returns the measurements."""
+    stats = measure_disabled_overhead()
+    assert stats["overhead_fraction"] < max_fraction, (
+        f"disabled-obs overhead {stats['overhead_fraction']:.2%} exceeds "
+        f"{max_fraction:.0%}: {stats}"
+    )
+    return stats
+
+
+def test_obs_disabled_overhead_under_5_percent():
+    stats = check_disabled_overhead_bound(0.05)
+    print(
+        f"\nobs disabled overhead: {stats['overhead_fraction']:.3%} of "
+        f"{stats['compile_s'] * 1e3:.1f}ms compile "
+        f"({stats['span_hits']:.0f} spans x {stats['span_cost_ns']:.0f}ns + "
+        f"{stats['metric_hits']:.0f} metric hits x {stats['metric_cost_ns']:.0f}ns)"
+    )

@@ -11,14 +11,21 @@ Subcommands:
   performance.
 * ``network NAME --hardware HW [--batch N] [--baseline pytorch]`` —
   end-to-end network evaluation, optionally against a baseline.
+* ``profile OP --hardware HW [--params k=v ...] [--out trace.jsonl]`` —
+  compile with observability enabled; writes a JSONL trace and prints the
+  human-readable report (span timings, mapping funnel, GA convergence,
+  model-vs-simulator rank accuracy).
+* ``report TRACE`` — re-render the report of a saved JSONL trace.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
+import repro.obs as obs
 from repro.compiler import amos_compile
 from repro.evaluation import AmosBackend, evaluate_network
 from repro.explore.tuner import TunerConfig
@@ -28,18 +35,23 @@ from repro.isa import get_intrinsic, intrinsics_for_target, list_intrinsics
 from repro.mapping.generation import enumerate_mappings
 from repro.mapping.physical import lower_to_physical
 from repro.model import get_hardware, list_hardware
+from repro.obs.explore_log import ExploreLog, use_log
 
 
-def _parse_params(pairs: Sequence[str]) -> dict[str, int]:
+def _parse_params(
+    parser: argparse.ArgumentParser, pairs: Sequence[str]
+) -> dict[str, int]:
+    """Parse ``k=v`` pairs; malformed input goes through ``parser.error``
+    so the user sees the subcommand usage alongside the message."""
     params: dict[str, int] = {}
     for pair in pairs:
         if "=" not in pair:
-            raise SystemExit(f"bad --params entry {pair!r}; expected k=v")
+            parser.error(f"bad --params entry {pair!r}; expected k=v")
         key, value = pair.split("=", 1)
         try:
             params[key] = int(value)
         except ValueError:
-            raise SystemExit(f"parameter {key} must be an integer, got {value!r}")
+            parser.error(f"parameter {key} must be an integer, got {value!r}")
     return params
 
 
@@ -66,7 +78,7 @@ def _cmd_list_hardware(args) -> int:
 
 
 def _cmd_mappings(args) -> int:
-    comp = make_operator(args.operator, **_parse_params(args.params))
+    comp = make_operator(args.operator, **_parse_params(args.parser, args.params))
     if args.intrinsic:
         intrinsics = [get_intrinsic(args.intrinsic)]
     else:
@@ -86,7 +98,7 @@ def _cmd_mappings(args) -> int:
 
 
 def _cmd_compile(args) -> int:
-    comp = make_operator(args.operator, **_parse_params(args.params))
+    comp = make_operator(args.operator, **_parse_params(args.parser, args.params))
     config = TunerConfig(seed=args.seed)
     kernel = amos_compile(comp, args.hardware, config, emit_source=args.source)
     print(f"operator: {comp.name} ({comp.flop_count() / 1e9:.3f} GFLOPs)")
@@ -126,6 +138,52 @@ def _cmd_network(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    """Compile one operator with observability on; emit trace + report."""
+    comp = make_operator(args.operator, **_parse_params(args.parser, args.params))
+    hw = get_hardware(args.hardware)
+    config = TunerConfig(seed=args.seed)
+
+    was_enabled = obs.enabled()
+    obs.reset()
+    obs.enable()
+    log = ExploreLog(operator=comp.name, hardware=hw.name)
+    start = time.perf_counter()
+    try:
+        with use_log(log):
+            kernel = amos_compile(comp, hw, config)
+    finally:
+        if not was_enabled:
+            obs.disable()
+    wall_s = time.perf_counter() - start
+
+    out = args.out or f"profile_{args.operator}_{args.hardware}.jsonl"
+    meta = {
+        "operator": comp.name,
+        "hardware": hw.name,
+        "seed": args.seed,
+        "latency_us": kernel.latency_us,
+        "num_mappings": kernel.num_mappings,
+        "used_intrinsics": kernel.used_intrinsics,
+        "wall_s": wall_s,
+    }
+    path = obs.export_jsonl(
+        out,
+        spans=obs.get_tracer().spans(),
+        metrics=obs.get_registry().snapshot(),
+        explore_log=log,
+        meta=meta,
+    )
+    print(obs.render_report(obs.load_jsonl(path)))
+    print(f"\ntrace written to {path} ({wall_s:.2f}s wall)")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    print(obs.render_report(obs.load_jsonl(args.trace)))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="AMOS reproduction command line"
@@ -145,7 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--target", default="tensorcore")
     p.add_argument("--params", nargs="*", default=[], metavar="k=v")
     p.add_argument("--limit", type=int, default=5)
-    p.set_defaults(func=_cmd_mappings)
+    p.set_defaults(func=_cmd_mappings, parser=p)
 
     p = sub.add_parser("compile", help="compile one operator")
     p.add_argument("operator", choices=sorted(OPERATOR_BUILDERS))
@@ -153,7 +211,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--params", nargs="*", default=[], metavar="k=v")
     p.add_argument("--source", action="store_true", help="emit kernel source")
     p.add_argument("--seed", type=int, default=0)
-    p.set_defaults(func=_cmd_compile)
+    p.set_defaults(func=_cmd_compile, parser=p)
+
+    p = sub.add_parser(
+        "profile",
+        help="compile one operator with tracing/telemetry; write a JSONL "
+        "trace and print the profiling report",
+    )
+    p.add_argument("operator", choices=sorted(OPERATOR_BUILDERS))
+    p.add_argument("--hardware", default="v100", choices=list_hardware())
+    p.add_argument("--params", nargs="*", default=[], metavar="k=v")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--out",
+        help="trace output path (default profile_<op>_<hw>.jsonl in the cwd)",
+    )
+    p.set_defaults(func=_cmd_profile, parser=p)
+
+    p = sub.add_parser("report", help="render the report of a saved JSONL trace")
+    p.add_argument("trace", help="path to a trace written by `repro profile`")
+    p.set_defaults(func=_cmd_report, parser=p)
 
     p = sub.add_parser("network", help="evaluate a network end to end")
     p.add_argument("network", choices=sorted(NETWORKS))
@@ -161,7 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=1)
     p.add_argument("--baseline", help="compare against a baseline backend")
     p.add_argument("--seed", type=int, default=0)
-    p.set_defaults(func=_cmd_network)
+    p.set_defaults(func=_cmd_network, parser=p)
     return parser
 
 

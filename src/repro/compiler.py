@@ -15,6 +15,9 @@ from repro.explore.tuner import ExplorationResult, Tuner, TunerConfig
 from repro.frontends.operators import operator_traffic_bytes
 from repro.ir.compute import ReduceComputation
 from repro.model.hardware_params import HardwareParams, get_hardware
+from repro.obs.explore_log import ExploreLog, current_log, use_log
+from repro.obs.trace import span as _obs_span
+from repro.obs.trace import tracing_enabled as _obs_enabled
 from repro.schedule.lowering import ScheduledMapping
 from repro.sim.timing import simulate_scalar_fallback
 
@@ -59,24 +62,51 @@ def amos_compile(
     purpose units.
     """
     hw = get_hardware(hardware) if isinstance(hardware, str) else hardware
-    tuner = Tuner(hw, config)
-    mappings = tuner.candidate_mappings(comp)
-    if not mappings:
-        latency = simulate_scalar_fallback(
-            comp.flop_count(), operator_traffic_bytes(comp), hw
-        )
-        return CompiledKernel(comp, None, latency, False, 0)
-    result: ExplorationResult = tuner.tune(comp, mappings)
-    source = ""
-    if emit_source:
-        from repro.codegen.cuda_like import emit_kernel
 
-        source = emit_kernel(result.best, hw)
-    return CompiledKernel(
-        computation=comp,
-        scheduled=result.best,
-        latency_us=result.best_us,
-        used_intrinsics=True,
-        num_mappings=result.num_mappings,
-        source=source,
-    )
+    # When observability is on and the caller did not bind an ExploreLog,
+    # open one for the whole compile so the enumeration stage (which runs
+    # before Tuner.tune) lands in the same funnel as the exploration.
+    if current_log() is None and _obs_enabled():
+        with use_log(ExploreLog(operator=comp.name, hardware=hw.name)):
+            return _compile_impl(comp, hw, config, emit_source)
+    return _compile_impl(comp, hw, config, emit_source)
+
+
+def _compile_impl(
+    comp: ReduceComputation,
+    hw: HardwareParams,
+    config: TunerConfig | None,
+    emit_source: bool,
+) -> CompiledKernel:
+    with _obs_span(
+        "compile", operator=comp.name, hardware=hw.name
+    ) as compile_span:
+        tuner = Tuner(hw, config)
+        mappings = tuner.candidate_mappings(comp)
+        if not mappings:
+            with _obs_span("compile.scalar_fallback"):
+                latency = simulate_scalar_fallback(
+                    comp.flop_count(), operator_traffic_bytes(comp), hw
+                )
+            compile_span.set(used_intrinsics=False, latency_us=latency)
+            return CompiledKernel(comp, None, latency, False, 0)
+        result: ExplorationResult = tuner.tune(comp, mappings)
+        source = ""
+        if emit_source:
+            from repro.codegen.cuda_like import emit_kernel
+
+            with _obs_span("compile.codegen"):
+                source = emit_kernel(result.best, hw)
+        compile_span.set(
+            used_intrinsics=True,
+            latency_us=result.best_us,
+            num_mappings=result.num_mappings,
+        )
+        return CompiledKernel(
+            computation=comp,
+            scheduled=result.best,
+            latency_us=result.best_us,
+            used_intrinsics=True,
+            num_mappings=result.num_mappings,
+            source=source,
+        )

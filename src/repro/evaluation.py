@@ -18,6 +18,8 @@ from repro.ir.compute import ReduceComputation
 from repro.model.hardware_params import HardwareParams
 from repro.compiler import CompiledKernel, amos_compile
 from repro.explore.tuner import TunerConfig
+from repro.obs import metrics as _obs_metrics
+from repro.obs.trace import span as _obs_span
 
 
 class Backend(Protocol):
@@ -77,19 +79,31 @@ def evaluate_network(
     mapped = 0
     tensor_ops = 0
     total = 0
-    for op in expand_ops(ops):
-        total += 1
-        if not op.is_tensor_op:
-            non_tensor_us += non_tensor_cost_us(op.elements(batch), hw)
-            continue
-        tensor_ops += 1
-        key = f"{op.kind}|{sorted(op.params.items())}|{batch}"
-        if key not in cache:
-            cache[key] = backend.compile(op.computation(batch), hw)
-        kernel = cache[key]
-        tensor_us += kernel.latency_us
-        if kernel.used_intrinsics:
-            mapped += 1
+    with _obs_span(
+        "evaluate.network", network=name, hardware=hw.name, batch=batch
+    ) as net_span:
+        for op in expand_ops(ops):
+            total += 1
+            if not op.is_tensor_op:
+                non_tensor_us += non_tensor_cost_us(op.elements(batch), hw)
+                _obs_metrics.counter("evaluate.non_tensor_ops").inc()
+                continue
+            tensor_ops += 1
+            key = f"{op.kind}|{sorted(op.params.items())}|{batch}"
+            if key not in cache:
+                with _obs_span("evaluate.layer", kind=op.kind) as layer_span:
+                    cache[key] = backend.compile(op.computation(batch), hw)
+                    layer_span.set(latency_us=cache[key].latency_us)
+                _obs_metrics.counter("evaluate.layers_compiled").inc()
+            else:
+                _obs_metrics.counter("evaluate.layer_cache_hits").inc()
+            kernel = cache[key]
+            tensor_us += kernel.latency_us
+            if kernel.used_intrinsics:
+                mapped += 1
+        net_span.set(
+            total_us=tensor_us + non_tensor_us, mapped_ops=mapped, tensor_ops=tensor_ops
+        )
     return NetworkResult(
         network=name,
         backend=getattr(backend, "name", type(backend).__name__),

@@ -36,12 +36,20 @@ class GeneticConfig:
     seed: int = 0
 
 
+#: Per-generation observer: ``(generation, fitnesses, unique_candidates)``.
+#: ``fitnesses`` is the evaluated cost of every population member and
+#: ``unique_candidates`` the number of genotypically distinct members —
+#: together the convergence + diversity signal of the search.
+GenerationCallback = Callable[[int, list[float], int], None]
+
+
 def genetic_search(
     mappings: Sequence[PhysicalMapping],
     fitness: Callable[[Candidate], float],
     config: GeneticConfig | None = None,
     seeds: Sequence[Candidate] = (),
     spaces: Sequence[ScheduleSpace] | None = None,
+    on_generation: GenerationCallback | None = None,
 ) -> list[tuple[Candidate, float]]:
     """Run the GA; returns all evaluated (candidate, cost) pairs sorted by
     cost ascending (cost = predicted latency; lower is better).
@@ -55,6 +63,10 @@ def genetic_search(
         spaces: per-mapping schedule spaces; defaults to unconstrained
             spaces (callers pass hardware-capped spaces so samples fit the
             device's warp/register budgets).
+        on_generation: telemetry hook invoked once per generation (and once
+            for the final population) with the population's fitnesses; it
+            observes the search without affecting it — the RNG stream and
+            selection are identical with or without a callback.
     """
     if not mappings:
         raise ValueError("no mappings to search over")
@@ -84,8 +96,16 @@ def genetic_search(
             evaluated[k] = (c, fitness(c))
         return evaluated[k][1]
 
-    for _ in range(config.generations):
+    def observe(generation: int) -> None:
+        if on_generation is None:
+            return
+        fitnesses = [evaluate(c) for c in population]  # cached by key
+        unique = len({key_of(c) for c in population})
+        on_generation(generation, fitnesses, unique)
+
+    for gen in range(config.generations):
         scored = sorted(population, key=evaluate)
+        observe(gen)
         elite_count = max(1, int(len(scored) * config.elite_fraction))
         elite = scored[:elite_count]
         next_pop = list(elite)
@@ -103,4 +123,5 @@ def genetic_search(
 
     for c in population:
         evaluate(c)
+    observe(config.generations)
     return sorted(evaluated.values(), key=lambda pair: pair[1])

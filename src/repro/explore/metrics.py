@@ -40,9 +40,16 @@ def top_k_recall(
     predicted: Sequence[float], measured: Sequence[float], top_rate: float
 ) -> float:
     """Recall of the measured-best ``top_rate`` fraction within the
-    predicted-best ``top_rate`` fraction (latencies: lower is better)."""
+    predicted-best ``top_rate`` fraction (latencies: lower is better).
+
+    ``top_rate`` must satisfy ``0 < top_rate <= 1``; the inclusive upper
+    bound is deliberate — ``top_rate=1.0`` compares the full candidate
+    sets and therefore always returns 1.0 for equal-length series.
+    """
     if not 0.0 < top_rate <= 1.0:
-        raise ValueError("top_rate must be in (0, 1]")
+        raise ValueError(
+            f"top_rate must satisfy 0 < top_rate <= 1, got {top_rate!r}"
+        )
     if len(predicted) != len(measured):
         raise ValueError("series lengths differ")
     n = len(predicted)

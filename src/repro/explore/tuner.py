@@ -21,6 +21,10 @@ from repro.mapping.generation import GenerationOptions, enumerate_mappings
 from repro.mapping.physical import PhysicalMapping, lower_to_physical
 from repro.model.hardware_params import HardwareParams
 from repro.model.perf_model import predict_latency
+from repro.obs import metrics as _obs_metrics
+from repro.obs.explore_log import ExploreLog, current_log, use_log
+from repro.obs.trace import span as _obs_span
+from repro.obs.trace import tracing_enabled as _obs_enabled
 from repro.schedule.lowering import ScheduledMapping, lower_schedule
 from repro.schedule.space import ScheduleSpace, default_schedule
 from repro.sim.timing import simulate_cycles
@@ -57,16 +61,35 @@ class Trial:
 
 @dataclass
 class ExplorationResult:
-    """Outcome of tuning one operator on one device."""
+    """Outcome of tuning one operator on one device.
+
+    ``telemetry`` carries the run's :class:`~repro.obs.explore_log.ExploreLog`
+    (funnel counts, GA convergence, model-vs-simulator samples) when
+    observability was enabled during the run; ``None`` otherwise.
+    """
 
     best: ScheduledMapping
     best_us: float
     trials: list[Trial]
     num_mappings: int
+    telemetry: ExploreLog | None = None
 
     def best_gflops(self) -> float:
         flops = self.best.useful_flops()
         return flops / (self.best_us * 1e-6) / 1e9 if self.best_us > 0 else 0.0
+
+    def summary(self) -> dict:
+        """Plain-dict run summary — the one serialization path shared by
+        the benchmarks and the obs exporters."""
+        measured = sum(1 for t in self.trials if t.measured_us is not None)
+        return {
+            "best_us": self.best_us,
+            "best_gflops": self.best_gflops(),
+            "num_mappings": self.num_mappings,
+            "num_trials": len(self.trials),
+            "trials_measured": measured,
+            "trials_predicted_only": len(self.trials) - measured,
+        }
 
 
 class Tuner:
@@ -80,11 +103,13 @@ class Tuner:
     def candidate_mappings(self, comp: ReduceComputation) -> list[PhysicalMapping]:
         """All valid physical mappings across the target's intrinsics."""
         result: list[PhysicalMapping] = []
-        for intrinsic in intrinsics_for_target(self.hardware.target):
-            for mapping in enumerate_mappings(
-                comp, intrinsic, self.config.generation_options
-            ):
-                result.append(lower_to_physical(mapping))
+        with _obs_span("tuner.enumerate", operator=comp.name) as sp:
+            for intrinsic in intrinsics_for_target(self.hardware.target):
+                for mapping in enumerate_mappings(
+                    comp, intrinsic, self.config.generation_options
+                ):
+                    result.append(lower_to_physical(mapping))
+            sp.set(num_mappings=len(result))
         return result
 
     def _prefilter(
@@ -95,12 +120,14 @@ class Tuner:
         keep = self.config.prefilter_mappings
         if keep <= 0 or len(physical) <= keep:
             return physical
-        scored = []
-        for pm in physical:
-            sched = lower_schedule(pm, default_schedule(pm))
-            scored.append((predict_latency(sched, self.hardware).total_us, pm))
-        scored.sort(key=lambda pair: pair[0])
-        return [pm for _, pm in scored[:keep]]
+        with _obs_span("tuner.prefilter", candidates=len(physical), keep=keep):
+            scored = []
+            for pm in physical:
+                sched = lower_schedule(pm, default_schedule(pm))
+                scored.append((predict_latency(sched, self.hardware).total_us, pm))
+                _obs_metrics.counter("model.predictions").inc()
+            scored.sort(key=lambda pair: pair[0])
+            return [pm for _, pm in scored[:keep]]
 
     def tune(
         self,
@@ -113,133 +140,206 @@ class Tuner:
             comp: the operator to map.
             mappings: restrict the mapping choices (used by the fixed-
                 mapping baselines); defaults to the full enumeration.
+
+        When observability is enabled (``repro.obs.enable()``) the run's
+        telemetry — mapping funnel, per-generation GA stats and paired
+        model/simulator samples — is collected into an
+        :class:`~repro.obs.explore_log.ExploreLog` (a caller-bound one via
+        ``use_log``, else a fresh one) and attached to the result.
+        Telemetry never alters exploration: RNG streams, candidate order
+        and measurements are identical with obs on or off.
         """
-        physical = mappings if mappings is not None else self.candidate_mappings(comp)
-        if not physical:
-            raise ValueError(
-                f"no valid mapping of {comp.name} onto target {self.hardware.target!r}"
+        log = current_log()
+        if log is None and _obs_enabled():
+            log = ExploreLog(operator=comp.name, hardware=self.hardware.name)
+            with use_log(log):
+                return self._tune_impl(comp, mappings, log)
+        return self._tune_impl(comp, mappings, log)
+
+    def _tune_impl(
+        self,
+        comp: ReduceComputation,
+        mappings: list[PhysicalMapping] | None,
+        log: ExploreLog | None,
+    ) -> ExplorationResult:
+        with _obs_span(
+            "tuner.tune", operator=comp.name, hardware=self.hardware.name
+        ) as tune_span:
+            physical = (
+                mappings if mappings is not None else self.candidate_mappings(comp)
             )
-
-        # Model-guided mapping pre-filter: rank mappings under a default
-        # heuristic schedule, keep the top few for the schedule search.
-        physical = self._prefilter(physical)
-
-        def fitness(candidate: Candidate) -> float:
-            sched = lower_schedule(physical[candidate.mapping_index], candidate.schedule)
-            return predict_latency(sched, self.hardware).total_us
-
-        max_warps = self.hardware.max_warps_per_subcore * self.hardware.subcores_per_core
-        spaces = [
-            ScheduleSpace(pm, max_warps_per_block=max_warps) for pm in physical
-        ]
-        seeds = [
-            Candidate(i, default_schedule(pm, max_warps_per_block=max_warps))
-            for i, pm in enumerate(physical)
-        ]
-        ga = GeneticConfig(
-            population=self.config.population,
-            generations=self.config.generations,
-            seed=self.config.seed,
-        )
-        ranked = genetic_search(physical, fitness, ga, seeds=seeds, spaces=spaces)
-
-        # Measure on the "hardware": the model's global top plus the best
-        # model-ranked candidate of every surviving mapping, so a mapping
-        # the model slightly misranks still gets one real measurement.
-        to_measure: list[int] = []
-        seen_mappings: set[int] = set()
-        for idx, (candidate, _) in enumerate(ranked):
-            if idx < self.config.measure_top:
-                to_measure.append(idx)
-                seen_mappings.add(candidate.mapping_index)
-            elif candidate.mapping_index not in seen_mappings:
-                to_measure.append(idx)
-                seen_mappings.add(candidate.mapping_index)
-        measured_set = set(to_measure)
-
-        trials: list[Trial] = []
-        best: ScheduledMapping | None = None
-        best_candidate: Candidate | None = None
-        best_us = float("inf")
-        for idx, (candidate, predicted) in enumerate(ranked):
-            sched = lower_schedule(physical[candidate.mapping_index], candidate.schedule)
-            if idx in measured_set:
-                measured = simulate_cycles(sched, self.hardware).total_us
-                trials.append(Trial(sched, predicted, measured))
-                if measured < best_us:
-                    best_us = measured
-                    best = sched
-                    best_candidate = candidate
-            else:
-                trials.append(Trial(sched, predicted))
-
-        # Safety net: the default heuristic schedule of every mapping is
-        # always measured, so a batch of model-favoured but infeasible
-        # candidates cannot leave the tuner empty-handed.
-        for i, seed_candidate in enumerate(seeds):
-            sched = lower_schedule(physical[i], seed_candidate.schedule)
-            predicted = predict_latency(sched, self.hardware).total_us
-            measured = simulate_cycles(sched, self.hardware).total_us
-            trials.append(Trial(sched, predicted, measured))
-            if measured < best_us:
-                best_us = measured
-                best = sched
-                best_candidate = seed_candidate
-        if best is None or best_candidate is None:
-            raise RuntimeError(f"no feasible schedule found for {comp.name}")
-
-        # Measured refinement rounds: AMOS's tuning loop alternates model-
-        # guided proposal with hardware measurement over many rounds; here
-        # the top measured candidates are hill-climbed with direct
-        # measurements for a few rounds each.
-        measured_trials = sorted(
-            (t for t in trials if t.measured_us is not None),
-            key=lambda t: t.measured_us,
-        )
-        index_by_id = {id(pm): i for i, pm in enumerate(physical)}
-        seeds_for_refine: list[tuple[Candidate, float]] = []
-        seen: set[int] = set()
-        for trial in measured_trials:
-            mi = index_by_id[id(trial.scheduled.physical)]
-            if mi in seen:
-                continue
-            seen.add(mi)
-            seeds_for_refine.append(
-                (Candidate(mi, trial.scheduled.schedule), trial.measured_us)
-            )
-            if len(seeds_for_refine) >= 4:
-                break
-
-        rng = random.Random(self.config.seed + 1)
-        space_cache: dict[int, ScheduleSpace] = {}
-        for start_candidate, start_us in seeds_for_refine:
-            current, current_us = start_candidate, start_us
-            for _ in range(self.config.refine_rounds):
-                space = space_cache.setdefault(
-                    current.mapping_index,
-                    ScheduleSpace(physical[current.mapping_index]),
+            if not physical:
+                raise ValueError(
+                    f"no valid mapping of {comp.name} onto target {self.hardware.target!r}"
                 )
-                improved = False
-                for _ in range(self.config.refine_neighbors):
-                    neighbor = Candidate(
-                        current.mapping_index, space.mutate(current.schedule, rng)
-                    )
+
+            # Model-guided mapping pre-filter: rank mappings under a default
+            # heuristic schedule, keep the top few for the schedule search.
+            physical = self._prefilter(physical)
+            if log is not None:
+                log.record_funnel("prefiltered", len(physical))
+
+            # Distinct mappings that receive at least one simulator
+            # measurement (the funnel's final stage).
+            measured_mappings: set[int] = set()
+
+            def record_measurement(
+                mapping_index: int, predicted: float, measured: float
+            ) -> None:
+                measured_mappings.add(mapping_index)
+                _obs_metrics.counter("tuner.measurements").inc()
+                if log is not None:
+                    log.record_sample(predicted, measured)
+
+            def fitness(candidate: Candidate) -> float:
+                sched = lower_schedule(
+                    physical[candidate.mapping_index], candidate.schedule
+                )
+                _obs_metrics.counter("model.predictions").inc()
+                return predict_latency(sched, self.hardware).total_us
+
+            max_warps = (
+                self.hardware.max_warps_per_subcore * self.hardware.subcores_per_core
+            )
+            spaces = [
+                ScheduleSpace(pm, max_warps_per_block=max_warps) for pm in physical
+            ]
+            seeds = [
+                Candidate(i, default_schedule(pm, max_warps_per_block=max_warps))
+                for i, pm in enumerate(physical)
+            ]
+            ga = GeneticConfig(
+                population=self.config.population,
+                generations=self.config.generations,
+                seed=self.config.seed,
+            )
+            on_generation = None
+            if log is not None:
+                on_generation = log.record_generation
+            with _obs_span("tuner.genetic_search", mappings=len(physical)):
+                ranked = genetic_search(
+                    physical,
+                    fitness,
+                    ga,
+                    seeds=seeds,
+                    spaces=spaces,
+                    on_generation=on_generation,
+                )
+
+            # Measure on the "hardware": the model's global top plus the best
+            # model-ranked candidate of every surviving mapping, so a mapping
+            # the model slightly misranks still gets one real measurement.
+            to_measure: list[int] = []
+            seen_mappings: set[int] = set()
+            for idx, (candidate, _) in enumerate(ranked):
+                if idx < self.config.measure_top:
+                    to_measure.append(idx)
+                    seen_mappings.add(candidate.mapping_index)
+                elif candidate.mapping_index not in seen_mappings:
+                    to_measure.append(idx)
+                    seen_mappings.add(candidate.mapping_index)
+            measured_set = set(to_measure)
+
+            trials: list[Trial] = []
+            best: ScheduledMapping | None = None
+            best_candidate: Candidate | None = None
+            best_us = float("inf")
+            with _obs_span("tuner.measure", candidates=len(measured_set)):
+                for idx, (candidate, predicted) in enumerate(ranked):
                     sched = lower_schedule(
-                        physical[neighbor.mapping_index], neighbor.schedule
+                        physical[candidate.mapping_index], candidate.schedule
                     )
+                    if idx in measured_set:
+                        measured = simulate_cycles(sched, self.hardware).total_us
+                        record_measurement(candidate.mapping_index, predicted, measured)
+                        trials.append(Trial(sched, predicted, measured))
+                        if measured < best_us:
+                            best_us = measured
+                            best = sched
+                            best_candidate = candidate
+                    else:
+                        trials.append(Trial(sched, predicted))
+
+                # Safety net: the default heuristic schedule of every mapping
+                # is always measured, so a batch of model-favoured but
+                # infeasible candidates cannot leave the tuner empty-handed.
+                for i, seed_candidate in enumerate(seeds):
+                    sched = lower_schedule(physical[i], seed_candidate.schedule)
                     predicted = predict_latency(sched, self.hardware).total_us
                     measured = simulate_cycles(sched, self.hardware).total_us
+                    record_measurement(i, predicted, measured)
                     trials.append(Trial(sched, predicted, measured))
-                    if measured < current_us:
-                        current_us = measured
-                        current = neighbor
-                        improved = True
                     if measured < best_us:
                         best_us = measured
                         best = sched
-                if not improved:
+                        best_candidate = seed_candidate
+            if best is None or best_candidate is None:
+                raise RuntimeError(f"no feasible schedule found for {comp.name}")
+
+            # Measured refinement rounds: AMOS's tuning loop alternates model-
+            # guided proposal with hardware measurement over many rounds; here
+            # the top measured candidates are hill-climbed with direct
+            # measurements for a few rounds each.
+            measured_trials = sorted(
+                (t for t in trials if t.measured_us is not None),
+                key=lambda t: t.measured_us,
+            )
+            index_by_id = {id(pm): i for i, pm in enumerate(physical)}
+            seeds_for_refine: list[tuple[Candidate, float]] = []
+            seen: set[int] = set()
+            for trial in measured_trials:
+                mi = index_by_id[id(trial.scheduled.physical)]
+                if mi in seen:
+                    continue
+                seen.add(mi)
+                seeds_for_refine.append(
+                    (Candidate(mi, trial.scheduled.schedule), trial.measured_us)
+                )
+                if len(seeds_for_refine) >= 4:
                     break
 
-        return ExplorationResult(
-            best=best, best_us=best_us, trials=trials, num_mappings=len(physical)
-        )
+            rng = random.Random(self.config.seed + 1)
+            space_cache: dict[int, ScheduleSpace] = {}
+            with _obs_span("tuner.refine", starts=len(seeds_for_refine)):
+                for start_candidate, start_us in seeds_for_refine:
+                    current, current_us = start_candidate, start_us
+                    for _ in range(self.config.refine_rounds):
+                        space = space_cache.setdefault(
+                            current.mapping_index,
+                            ScheduleSpace(physical[current.mapping_index]),
+                        )
+                        improved = False
+                        for _ in range(self.config.refine_neighbors):
+                            neighbor = Candidate(
+                                current.mapping_index,
+                                space.mutate(current.schedule, rng),
+                            )
+                            sched = lower_schedule(
+                                physical[neighbor.mapping_index], neighbor.schedule
+                            )
+                            predicted = predict_latency(sched, self.hardware).total_us
+                            measured = simulate_cycles(sched, self.hardware).total_us
+                            record_measurement(
+                                neighbor.mapping_index, predicted, measured
+                            )
+                            trials.append(Trial(sched, predicted, measured))
+                            if measured < current_us:
+                                current_us = measured
+                                current = neighbor
+                                improved = True
+                            if measured < best_us:
+                                best_us = measured
+                                best = sched
+                        if not improved:
+                            break
+
+            if log is not None:
+                log.record_funnel("measured", len(measured_mappings))
+            tune_span.set(best_us=best_us, num_mappings=len(physical))
+            return ExplorationResult(
+                best=best,
+                best_us=best_us,
+                trials=trials,
+                num_mappings=len(physical),
+                telemetry=log,
+            )

@@ -49,6 +49,9 @@ from repro.isa.intrinsic import Intrinsic
 from repro.mapping.mapping import ComputeMapping
 from repro.mapping.matrices import MatchingMatrix
 from repro.mapping.validation import validate_mapping
+from repro.obs import explore_log as _obs_log
+from repro.obs import metrics as _obs_metrics
+from repro.obs.trace import span as _obs_span
 
 
 @dataclass(frozen=True)
@@ -209,31 +212,45 @@ def enumerate_mappings(
     hw_reduce = [t for t, iv in enumerate(intrinsic.compute.iter_vars) if iv.is_reduce]
 
     results: list[ComputeMapping] = []
-    for combo in itertools.product(*choices):
-        data = np.zeros((num_hw, num_sw), dtype=np.int8)
-        for c, choice in enumerate(combo):
-            if choice is None:
+    enumerated = 0
+    with _obs_span(
+        "mapping.enumerate",
+        computation=computation.name,
+        intrinsic=intrinsic.name,
+    ) as sp:
+        for combo in itertools.product(*choices):
+            enumerated += 1
+            data = np.zeros((num_hw, num_sw), dtype=np.int8)
+            for c, choice in enumerate(combo):
+                if choice is None:
+                    continue
+                if isinstance(choice, tuple):
+                    for t in choice:
+                        data[t, c] = 1
+                else:
+                    data[choice, c] = 1
+            y = MatchingMatrix(data)
+            covered = set(y.covered_intrinsic())
+            if not must_cover <= covered:
                 continue
-            if isinstance(choice, tuple):
-                for t in choice:
-                    data[t, c] = 1
-            else:
-                data[choice, c] = 1
-        y = MatchingMatrix(data)
-        covered = set(y.covered_intrinsic())
-        if not must_cover <= covered:
-            continue
-        if options.unit_stride_reduce_rule:
-            bad = False
-            for t in hw_reduce:
-                group = y.group_of(t)
-                if len(group) == 1 and group[0] not in solo:
-                    bad = True
-                    break
-            if bad:
-                continue
-        if validate_mapping(computation, intrinsic, y):
-            results.append(ComputeMapping(computation, intrinsic, y))
+            if options.unit_stride_reduce_rule:
+                bad = False
+                for t in hw_reduce:
+                    group = y.group_of(t)
+                    if len(group) == 1 and group[0] not in solo:
+                        bad = True
+                        break
+                if bad:
+                    continue
+            if validate_mapping(computation, intrinsic, y):
+                results.append(ComputeMapping(computation, intrinsic, y))
+        sp.set(enumerated=enumerated, validated=len(results))
+    _obs_metrics.counter("mapping.candidates_enumerated").inc(enumerated)
+    _obs_metrics.counter("mapping.mappings_validated").inc(len(results))
+    log = _obs_log.current_log()
+    if log is not None:
+        log.record_funnel("enumerated", enumerated)
+        log.record_funnel("validated", len(results))
     return results
 
 

@@ -34,6 +34,7 @@ import numpy as np
 from repro.ir.compute import ReduceComputation
 from repro.isa.intrinsic import Intrinsic
 from repro.mapping.matrices import MatchingMatrix, binary_matmul
+from repro.obs import metrics as _obs_metrics
 
 
 @dataclass(frozen=True)
@@ -142,4 +143,9 @@ def validate_mapping(
     z = intrinsic.compute.access_matrix()
     software_kinds = tuple(iv.is_reduce for iv in computation.iter_vars)
     intrinsic_kinds = tuple(iv.is_reduce for iv in intrinsic.compute.iter_vars)
-    return validate_matrices(x, z, matching, software_kinds, intrinsic_kinds)
+    result = validate_matrices(x, z, matching, software_kinds, intrinsic_kinds)
+    _obs_metrics.counter("mapping.validation.calls").inc()
+    _obs_metrics.counter(
+        "mapping.validation.accepted" if result.valid else "mapping.validation.rejected"
+    ).inc()
+    return result

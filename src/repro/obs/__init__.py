@@ -1,0 +1,89 @@
+"""repro.obs — observability for the compile-explore-simulate pipeline.
+
+Three layers, all zero-dependency and near-free when disabled:
+
+* :mod:`repro.obs.trace` — nested wall-time spans (where time goes);
+* :mod:`repro.obs.metrics` — counters / gauges / histograms (how often,
+  how distributed);
+* :mod:`repro.obs.explore_log` — per-tune-run telemetry: the mapping
+  funnel, genetic-search convergence, and paired model/simulator samples
+  (the signals behind the paper's Fig 5 and Table 6);
+* :mod:`repro.obs.export` — JSONL traces and human-readable reports.
+
+Everything is off by default.  ``enable()`` flips one module-global
+switch; instrumented hot paths pay one global check when it is off, so
+compilation results are bit-identical with obs enabled or disabled.
+"""
+
+from repro.obs.explore_log import ExploreLog, FunnelCounts, current_log, use_log
+from repro.obs.export import export_jsonl, load_jsonl, render_report
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    aggregate_spans,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    traced,
+    tracing,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "ExploreLog",
+    "FunnelCounts",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "aggregate_spans",
+    "counter",
+    "current_log",
+    "disable",
+    "enable",
+    "enabled",
+    "export_jsonl",
+    "gauge",
+    "get_registry",
+    "get_tracer",
+    "histogram",
+    "load_jsonl",
+    "render_report",
+    "reset",
+    "span",
+    "traced",
+    "tracing",
+    "use_log",
+]
+
+
+def enable() -> None:
+    """Turn on span + metric collection globally."""
+    enable_tracing()
+
+
+def disable() -> None:
+    disable_tracing()
+
+
+def enabled() -> bool:
+    return tracing_enabled()
+
+
+def reset() -> None:
+    """Drop all collected spans and metrics (toggle state unchanged)."""
+    get_tracer().clear()
+    get_registry().reset()

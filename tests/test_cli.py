@@ -14,13 +14,29 @@ class TestParsing:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["mappings", "NOPE"])
 
-    def test_bad_params_rejected(self):
-        with pytest.raises(SystemExit, match="expected k=v"):
+    def test_bad_params_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
             main(["mappings", "GMM", "--params", "m8"])
+        assert exc.value.code == 2  # argparse usage-error exit status
+        err = capsys.readouterr().err
+        assert "expected k=v" in err
+        assert "usage:" in err  # parser.error prints the subcommand usage
 
-    def test_non_integer_param_rejected(self):
-        with pytest.raises(SystemExit, match="must be an integer"):
+    def test_non_integer_param_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
             main(["mappings", "GMM", "--params", "m=eight"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "must be an integer" in err
+        assert "usage:" in err
+
+    def test_bad_params_rejected_on_compile(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["compile", "GMM", "--params", "m"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "expected k=v" in err
+        assert "repro compile" in err  # usage names the failing subcommand
 
 
 class TestCommands:
@@ -74,3 +90,43 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "mi_lstm on v100" in out
         assert "speedup" in out
+
+
+class TestProfile:
+    def test_profile_writes_trace_and_prints_report(self, capsys, tmp_path):
+        import repro.obs as obs
+
+        out = tmp_path / "trace.jsonl"
+        assert main([
+            "profile", "GMM", "--hardware", "v100",
+            "--params", "m=64", "n=64", "k=64", "--out", str(out),
+        ]) == 0
+        report = capsys.readouterr().out
+        # The four report sections the acceptance criteria name.
+        assert "span timings" in report
+        assert "mapping funnel" in report
+        assert "genetic search convergence" in report
+        assert "pairwise rank accuracy" in report
+        assert "tuner.tune" in report
+        # Profiling must not leave observability enabled behind.
+        assert not obs.enabled()
+
+        data = obs.load_jsonl(out)
+        assert data["meta"]["operator"] == "gemm"
+        assert data["spans"]
+        assert data["samples"]
+        funnel = data["funnel"]
+        assert funnel["enumerated"] >= funnel["validated"] >= funnel["measured"] >= 1
+
+    def test_report_rerenders_saved_trace(self, capsys, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        assert main([
+            "profile", "GMM", "--hardware", "v100",
+            "--params", "m=64", "n=64", "k=64", "--out", str(out),
+        ]) == 0
+        profile_out = capsys.readouterr().out
+        assert main(["report", str(out)]) == 0
+        report_out = capsys.readouterr().out
+        # The report command reproduces the profile's report verbatim
+        # (profile additionally prints the trace path afterwards).
+        assert report_out.strip() in profile_out

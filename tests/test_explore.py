@@ -38,8 +38,17 @@ class TestMetrics:
         assert top_k_recall([1, 2, 3, 4], [4, 3, 2, 1], 0.5) == 0.0
 
     def test_recall_bad_rate(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="0 < top_rate <= 1"):
             top_k_recall([1], [1], 0.0)
+
+    def test_recall_full_rate_allowed(self):
+        # top_rate=1.0 is the documented inclusive upper bound: the full
+        # sets are compared, so recall is 1.0 even for inverted rankings.
+        assert top_k_recall([1, 2, 3, 4], [4, 3, 2, 1], 1.0) == 1.0
+
+    def test_recall_rate_above_one_rejected(self):
+        with pytest.raises(ValueError, match="0 < top_rate <= 1"):
+            top_k_recall([1], [1], 1.0001)
 
     @given(st.lists(st.floats(0.1, 100), min_size=2, max_size=20))
     def test_self_agreement_properties(self, series):
@@ -142,3 +151,36 @@ class TestTuner:
         tuner = Tuner(get_hardware("v100"), TunerConfig(population=8, generations=3))
         result = tuner.tune(make_small_gemv(128, 128))
         assert all(t.predicted_us > 0 for t in result.trials)
+
+    def test_summary_is_plain_serializable_dict(self, tensorcore):
+        import json
+
+        tuner = Tuner(get_hardware("v100"), TunerConfig(population=8, generations=3))
+        result = tuner.tune(make_small_gemm(256, 256, 256))
+        s = result.summary()
+        assert s["best_us"] == result.best_us
+        assert s["best_gflops"] == result.best_gflops()
+        assert s["num_mappings"] == result.num_mappings
+        assert s["num_trials"] == len(result.trials)
+        assert s["trials_measured"] + s["trials_predicted_only"] == s["num_trials"]
+        assert s["trials_measured"] >= 1
+        json.dumps(s)  # one shared serialization path: must be plain JSON
+
+    def test_generation_callback_does_not_perturb_search(self, tensorcore):
+        phys = _physical_mappings(make_small_gemm(64, 64, 64), tensorcore)
+        hw = get_hardware("v100")
+
+        def fitness(c):
+            return predict_latency(lower_schedule(phys[c.mapping_index], c.schedule), hw).total_us
+
+        cfg = GeneticConfig(population=8, generations=3, seed=7)
+        plain = genetic_search(phys, fitness, cfg)
+        observed = []
+        with_cb = genetic_search(
+            phys, fitness, cfg,
+            on_generation=lambda gen, fits, uniq: observed.append((gen, len(fits), uniq)),
+        )
+        assert [cost for _, cost in plain] == [cost for _, cost in with_cb]
+        # One callback per generation plus one for the final population.
+        assert [gen for gen, _, _ in observed] == list(range(cfg.generations + 1))
+        assert all(0 < uniq <= pop for _, pop, uniq in observed)

@@ -1,0 +1,23 @@
+"""Tier-1 wrapper for the obs-overhead micro-benchmark.
+
+``pyproject.toml`` points pytest at ``tests/`` only, so the bound in
+``benchmarks/bench_obs_overhead.py`` (tracing-disabled overhead on
+``amos_compile`` < 5%) is re-exported here to run under the tier-1
+command as well.
+"""
+
+import importlib.util
+import pathlib
+
+_BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "bench_obs_overhead.py"
+)
+_spec = importlib.util.spec_from_file_location("bench_obs_overhead", _BENCH_PATH)
+_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_bench)
+
+test_obs_disabled_overhead_under_5_percent = (
+    _bench.test_obs_disabled_overhead_under_5_percent
+)
