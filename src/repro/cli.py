@@ -97,9 +97,18 @@ def _cmd_mappings(args) -> int:
     return 0
 
 
+def _tuner_config(args) -> TunerConfig:
+    """TunerConfig from the shared tuning flags (seed/workers/cache dir)."""
+    return TunerConfig(
+        seed=args.seed,
+        n_workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
+
+
 def _cmd_compile(args) -> int:
     comp = make_operator(args.operator, **_parse_params(args.parser, args.params))
-    config = TunerConfig(seed=args.seed)
+    config = _tuner_config(args)
     kernel = amos_compile(comp, args.hardware, config, emit_source=args.source)
     print(f"operator: {comp.name} ({comp.flop_count() / 1e9:.3f} GFLOPs)")
     if kernel.used_intrinsics:
@@ -116,7 +125,7 @@ def _cmd_compile(args) -> int:
 def _cmd_network(args) -> int:
     hw = get_hardware(args.hardware)
     ops = get_network(args.network)
-    backend = AmosBackend(config=TunerConfig(seed=args.seed))
+    backend = AmosBackend(config=_tuner_config(args))
     result = evaluate_network(args.network, ops, backend, hw, batch=args.batch)
     print(
         f"{args.network} on {args.hardware} (batch {args.batch}): "
@@ -142,7 +151,7 @@ def _cmd_profile(args) -> int:
     """Compile one operator with observability on; emit trace + report."""
     comp = make_operator(args.operator, **_parse_params(args.parser, args.params))
     hw = get_hardware(args.hardware)
-    config = TunerConfig(seed=args.seed)
+    config = _tuner_config(args)
 
     was_enabled = obs.enabled()
     obs.reset()
@@ -184,6 +193,26 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _add_tuning_flags(p: argparse.ArgumentParser) -> None:
+    """Flags shared by every tuning entry point (compile/profile/network)."""
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluation worker processes (default: one per CPU core; "
+        "1 = pure in-process)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent compile cache directory; repeated compiles of "
+        "identical kernels skip re-tuning",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="AMOS reproduction command line"
@@ -210,7 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hardware", default="v100", choices=list_hardware())
     p.add_argument("--params", nargs="*", default=[], metavar="k=v")
     p.add_argument("--source", action="store_true", help="emit kernel source")
-    p.add_argument("--seed", type=int, default=0)
+    _add_tuning_flags(p)
     p.set_defaults(func=_cmd_compile, parser=p)
 
     p = sub.add_parser(
@@ -221,7 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("operator", choices=sorted(OPERATOR_BUILDERS))
     p.add_argument("--hardware", default="v100", choices=list_hardware())
     p.add_argument("--params", nargs="*", default=[], metavar="k=v")
-    p.add_argument("--seed", type=int, default=0)
+    _add_tuning_flags(p)
     p.add_argument(
         "--out",
         help="trace output path (default profile_<op>_<hw>.jsonl in the cwd)",
@@ -237,7 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hardware", default="v100", choices=list_hardware())
     p.add_argument("--batch", type=int, default=1)
     p.add_argument("--baseline", help="compare against a baseline backend")
-    p.add_argument("--seed", type=int, default=0)
+    _add_tuning_flags(p)
     p.set_defaults(func=_cmd_network, parser=p)
     return parser
 

@@ -5,20 +5,40 @@ and validates software-hardware mappings against the target's intrinsic
 abstractions, explores the joint mapping x schedule space with the
 performance model + genetic tuner, and returns the compiled artifact:
 the chosen mapping, schedule, simulated latency and generated source.
+
+When ``TunerConfig.cache_dir`` is set, compiled kernels are also written
+to (and served from) the persistent compile cache: a repeated compile of
+an identical (computation, hardware, tuner budget) triple skips the whole
+exploration and rebuilds the scheduled mapping from the cached mapping
+fingerprint + schedule descriptor.  Entries whose fingerprints no longer
+match the live objects are ignored, never served.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
+from repro.engine.cache import CompileCache, compile_cache_for
+from repro.engine.fingerprint import (
+    computation_fingerprint,
+    hardware_fingerprint,
+    mapping_fingerprint,
+    tuner_config_fingerprint,
+)
 from repro.explore.tuner import ExplorationResult, Tuner, TunerConfig
 from repro.frontends.operators import operator_traffic_bytes
 from repro.ir.compute import ReduceComputation
+from repro.isa.registry import intrinsics_for_target
+from repro.mapping.generation import enumerate_mappings
+from repro.mapping.physical import lower_to_physical
 from repro.model.hardware_params import HardwareParams, get_hardware
+from repro.obs import metrics as _obs_metrics
 from repro.obs.explore_log import ExploreLog, current_log, use_log
 from repro.obs.trace import span as _obs_span
 from repro.obs.trace import tracing_enabled as _obs_enabled
-from repro.schedule.lowering import ScheduledMapping
+from repro.schedule.lowering import ScheduledMapping, lower_schedule
+from repro.schedule.schedule import Schedule
 from repro.sim.timing import simulate_scalar_fallback
 
 
@@ -81,6 +101,26 @@ def _compile_impl(
     with _obs_span(
         "compile", operator=comp.name, hardware=hw.name
     ) as compile_span:
+        cache: CompileCache | None = None
+        cache_key = ""
+        if config is not None and config.cache_dir:
+            cache = compile_cache_for(config.cache_dir)
+            comp_fp = computation_fingerprint(comp)
+            hw_fp = hardware_fingerprint(hw)
+            cache_key = f"{comp_fp}|{hw_fp}|{tuner_config_fingerprint(config)}"
+            kernel = _kernel_from_cache(
+                cache.lookup(cache_key), comp, comp_fp, hw, hw_fp, config, emit_source
+            )
+            if kernel is not None:
+                _obs_metrics.counter("engine.compile_cache.hit").inc()
+                compile_span.set(
+                    cache_hit=True,
+                    used_intrinsics=kernel.used_intrinsics,
+                    latency_us=kernel.latency_us,
+                )
+                return kernel
+            _obs_metrics.counter("engine.compile_cache.miss").inc()
+
         tuner = Tuner(hw, config)
         mappings = tuner.candidate_mappings(comp)
         if not mappings:
@@ -89,7 +129,10 @@ def _compile_impl(
                     comp.flop_count(), operator_traffic_bytes(comp), hw
                 )
             compile_span.set(used_intrinsics=False, latency_us=latency)
-            return CompiledKernel(comp, None, latency, False, 0)
+            kernel = CompiledKernel(comp, None, latency, False, 0)
+            if cache is not None:
+                _store_in_cache(cache, cache_key, comp, hw, config, kernel)
+            return kernel
         result: ExplorationResult = tuner.tune(comp, mappings)
         source = ""
         if emit_source:
@@ -102,7 +145,7 @@ def _compile_impl(
             latency_us=result.best_us,
             num_mappings=result.num_mappings,
         )
-        return CompiledKernel(
+        kernel = CompiledKernel(
             computation=comp,
             scheduled=result.best,
             latency_us=result.best_us,
@@ -110,3 +153,113 @@ def _compile_impl(
             num_mappings=result.num_mappings,
             source=source,
         )
+        if cache is not None:
+            _store_in_cache(cache, cache_key, comp, hw, config, kernel)
+        return kernel
+
+
+def _store_in_cache(
+    cache: CompileCache,
+    key: str,
+    comp: ReduceComputation,
+    hw: HardwareParams,
+    config: TunerConfig,
+    kernel: CompiledKernel,
+) -> None:
+    """Persist a freshly compiled kernel.
+
+    Everything needed to *reconstruct* the kernel later is stored by
+    fingerprint + descriptor (never by pickling live objects): the chosen
+    intrinsic's name, the winning mapping's fingerprint and the schedule's
+    dict form.  Rebuilding re-enumerates mappings and matches by
+    fingerprint, so a cache written by a different code version that no
+    longer reproduces the mapping simply misses instead of lying.
+    """
+    entry: dict[str, Any] = {
+        "comp_fp": computation_fingerprint(comp),
+        "hw_fp": hardware_fingerprint(hw),
+        "config_fp": tuner_config_fingerprint(config),
+        "operator": comp.name,
+        "hardware": hw.name,
+        "used_intrinsics": kernel.used_intrinsics,
+        "latency_us": kernel.latency_us,
+        "num_mappings": kernel.num_mappings,
+        "intrinsic": None,
+        "mapping_fp": None,
+        "schedule": None,
+    }
+    if kernel.scheduled is not None:
+        entry["intrinsic"] = kernel.scheduled.physical.intrinsic.name
+        entry["mapping_fp"] = mapping_fingerprint(kernel.scheduled.physical)
+        entry["schedule"] = kernel.scheduled.schedule.to_dict()
+    cache.store(key, entry)
+
+
+def _kernel_from_cache(
+    entry: dict[str, Any] | None,
+    comp: ReduceComputation,
+    comp_fp: str,
+    hw: HardwareParams,
+    hw_fp: str,
+    config: TunerConfig,
+    emit_source: bool,
+) -> CompiledKernel | None:
+    """Rebuild a CompiledKernel from a cache entry; None forces a re-tune.
+
+    An entry is trusted only as far as its fingerprints go: the stored
+    computation/hardware fingerprints must match the live objects and the
+    stored mapping fingerprint must match a freshly enumerated mapping.
+    Any mismatch (hand-edited file, stale code version, hash collision in
+    the key space) makes this a miss, never a wrong answer.
+    """
+    if entry is None:
+        return None
+    if entry.get("comp_fp") != comp_fp or entry.get("hw_fp") != hw_fp:
+        return None  # poisoned / stale entry
+    latency = entry.get("latency_us")
+    if not isinstance(latency, (int, float)):
+        return None
+    num_mappings = entry.get("num_mappings")
+    if not isinstance(num_mappings, int):
+        return None
+
+    if not entry.get("used_intrinsics"):
+        return CompiledKernel(comp, None, float(latency), False, num_mappings)
+
+    schedule_dict = entry.get("schedule")
+    if not isinstance(schedule_dict, dict):
+        return None
+    with _obs_span("compile.cache_rebuild", operator=comp.name):
+        physical = None
+        for intrinsic in intrinsics_for_target(hw.target):
+            if intrinsic.name != entry.get("intrinsic"):
+                continue
+            for mapping in enumerate_mappings(
+                comp, intrinsic, config.generation_options
+            ):
+                pm = lower_to_physical(mapping)
+                if mapping_fingerprint(pm) == entry.get("mapping_fp"):
+                    physical = pm
+                    break
+            if physical is not None:
+                break
+        if physical is None:
+            return None
+        try:
+            schedule = Schedule.from_dict(schedule_dict)
+            scheduled = lower_schedule(physical, schedule)
+        except (KeyError, TypeError, ValueError):
+            return None
+        source = ""
+        if emit_source:
+            from repro.codegen.cuda_like import emit_kernel
+
+            source = emit_kernel(scheduled, hw)
+    return CompiledKernel(
+        computation=comp,
+        scheduled=scheduled,
+        latency_us=float(latency),
+        used_intrinsics=True,
+        num_mappings=num_mappings,
+        source=source,
+    )

@@ -1,0 +1,179 @@
+"""Two-level memoization for the exploration engine.
+
+Level 1 — :class:`MemoCache`: an in-memory map from canonical candidate
+keys (see :mod:`repro.engine.fingerprint`) to model predictions and
+simulator measurements.  It is shared process-wide by default, so a
+network evaluation that tunes thirty convolutions with overlapping
+(mapping, schedule) candidates never evaluates the same candidate twice,
+and repeated ``Tuner.tune`` calls on the same operator are nearly free.
+Both evaluators are deterministic, so serving a memoized value is
+observationally identical to recomputing it.
+
+Level 2 — :class:`CompileCache`: a persistent on-disk JSONL cache of
+*compiled kernels* (the outcome of a whole ``amos_compile``), keyed by
+the (computation, hardware, tuner budget) fingerprints.  A warm cache
+lets a repeated ``python -m repro`` run or a second ``evaluate_network``
+sweep skip re-tuning identical (op, params, batch, hardware) kernels
+entirely.  Entries carry the fingerprints they were computed from; an
+entry whose stored fingerprints do not match the live objects (a
+"poisoned" or stale entry) is ignored, never served.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any
+
+__all__ = [
+    "CACHE_VERSION",
+    "CompileCache",
+    "MemoCache",
+    "compile_cache_for",
+    "global_memo",
+    "reset_compile_caches",
+    "reset_global_memo",
+]
+
+#: Bump when the evaluators or the entry layout change incompatibly;
+#: entries with another version are ignored on load.
+CACHE_VERSION = 1
+
+
+class MemoCache:
+    """In-memory memo of model predictions and simulator measurements.
+
+    Two separate maps because the two values are produced by different
+    evaluators and a candidate is frequently predicted long before (or
+    without ever) being measured.  Bounded: when full, the oldest entries
+    are evicted (insertion order), which is plenty for an LRU-ish working
+    set without per-get bookkeeping on the hot path.
+    """
+
+    def __init__(self, max_entries: int = 1_000_000):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.predictions: dict[str, float] = {}
+        self.measurements: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def _put(self, table: dict[str, float], key: str, value: float) -> None:
+        with self._lock:
+            if key not in table and len(table) >= self.max_entries:
+                for oldest in list(table)[: max(1, self.max_entries // 10)]:
+                    del table[oldest]
+            table[key] = value
+
+    def get_prediction(self, key: str) -> float | None:
+        return self.predictions.get(key)
+
+    def put_prediction(self, key: str, value: float) -> None:
+        self._put(self.predictions, key, value)
+
+    def get_measurement(self, key: str) -> float | None:
+        return self.measurements.get(key)
+
+    def put_measurement(self, key: str, value: float) -> None:
+        self._put(self.measurements, key, value)
+
+    def __len__(self) -> int:
+        return len(self.predictions) + len(self.measurements)
+
+    def clear(self) -> None:
+        with self._lock:
+            self.predictions.clear()
+            self.measurements.clear()
+
+
+_GLOBAL_MEMO = MemoCache()
+
+
+def global_memo() -> MemoCache:
+    """The process-wide memo shared by every engine (unless one is injected)."""
+    return _GLOBAL_MEMO
+
+
+def reset_global_memo() -> None:
+    """Drop all memoized evaluations (tests and long-lived services)."""
+    _GLOBAL_MEMO.clear()
+
+
+class CompileCache:
+    """Append-only JSONL cache of compiled kernels under ``cache_dir``.
+
+    Layout: one file ``compile_cache.jsonl``; one JSON object per line::
+
+        {"key": ..., "version": 1, "comp_fp": ..., "hw_fp": ...,
+         "config_fp": ..., "used_intrinsics": true, "intrinsic": ...,
+         "mapping_fp": ..., "schedule": {...}, "latency_us": ...,
+         "num_mappings": ...}
+
+    The full file is loaded into a dict on first use; later entries for
+    the same key win (so re-tuning after an invalidation simply appends).
+    Corrupt or wrong-version lines are skipped, not fatal.  Writes are
+    appends under a lock, safe for concurrent compiles in one process;
+    cross-process writers at worst duplicate work, never corrupt reads.
+    """
+
+    FILENAME = "compile_cache.jsonl"
+
+    def __init__(self, cache_dir: str):
+        self.cache_dir = cache_dir
+        self.path = os.path.join(cache_dir, self.FILENAME)
+        self._lock = threading.Lock()
+        self._entries: dict[str, dict[str, Any]] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(entry, dict) or entry.get("version") != CACHE_VERSION:
+                    continue
+                key = entry.get("key")
+                if isinstance(key, str):
+                    self._entries[key] = entry
+
+    def lookup(self, key: str) -> dict[str, Any] | None:
+        return self._entries.get(key)
+
+    def store(self, key: str, entry: dict[str, Any]) -> None:
+        entry = {**entry, "key": key, "version": CACHE_VERSION}
+        with self._lock:
+            self._entries[key] = entry
+            os.makedirs(self.cache_dir, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(entry) + "\n")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_compile_caches: dict[str, CompileCache] = {}
+_compile_caches_lock = threading.Lock()
+
+
+def compile_cache_for(cache_dir: str) -> CompileCache:
+    """The shared :class:`CompileCache` for a directory (loaded once)."""
+    resolved = os.path.abspath(cache_dir)
+    with _compile_caches_lock:
+        cache = _compile_caches.get(resolved)
+        if cache is None:
+            cache = _compile_caches[resolved] = CompileCache(resolved)
+        return cache
+
+
+def reset_compile_caches() -> None:
+    """Forget loaded compile caches so the next use re-reads the disk."""
+    with _compile_caches_lock:
+        _compile_caches.clear()

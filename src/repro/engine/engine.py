@@ -1,0 +1,198 @@
+"""The batch evaluation engine: memoized, optionally process-parallel.
+
+:class:`EvaluationEngine` is the single funnel through which the tuner
+evaluates candidates.  Callers hand it batches of ``(mapping_index,
+schedule)`` items; the engine
+
+1. computes each item's canonical candidate key (fingerprints of the
+   computation, hardware, mapping, plus the schedule descriptor),
+2. serves whatever the memo cache already knows,
+3. evaluates the misses — in-process, or on the worker pool when there
+   are enough of them to amortise inter-process transfer — and
+4. returns results in submission order.
+
+Determinism is the design invariant: both evaluators are pure functions
+of the candidate, batches are reassembled positionally, and the memo
+only short-circuits recomputation of identical values, so ``n_workers=1``
+(pure in-process), ``n_workers=N`` and warm-cache runs all produce
+byte-identical results.
+
+Observability: every batch opens an ``engine.batch`` span and feeds the
+``engine.cache.{hit,miss}`` and ``engine.pool.{tasks,batches}`` counters
+(no-ops while obs is disabled), which is how the benchmarks prove cache
+hit rates and pool utilisation.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro.engine.cache import MemoCache, global_memo
+from repro.engine.fingerprint import (
+    candidate_key,
+    computation_fingerprint,
+    hardware_fingerprint,
+    mapping_fingerprint,
+)
+from repro.engine.pool import WorkerPool
+from repro.ir.compute import ReduceComputation
+from repro.mapping.physical import PhysicalMapping
+from repro.model.hardware_params import HardwareParams
+from repro.model.perf_model import predict_latency
+from repro.obs import metrics as _obs_metrics
+from repro.obs.trace import span as _obs_span
+from repro.schedule.lowering import lower_schedule
+from repro.schedule.schedule import Schedule
+from repro.sim.timing import simulate_cycles
+
+__all__ = ["EvaluationEngine", "resolve_workers"]
+
+#: Smallest miss-batch worth shipping to the pool: below this the
+#: pickle/IPC round trip costs more than the evaluations save.
+DEFAULT_MIN_POOL_BATCH = 16
+
+
+def resolve_workers(n_workers: int | None) -> int:
+    """``None`` means "use every core" (the TunerConfig default)."""
+    if n_workers is None:
+        return os.cpu_count() or 1
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    return n_workers
+
+
+class EvaluationEngine:
+    """Batch evaluator for one (computation, mapping set, hardware) context."""
+
+    def __init__(
+        self,
+        comp: ReduceComputation,
+        physical: Sequence[PhysicalMapping],
+        hardware: HardwareParams,
+        n_workers: int | None = None,
+        memo: MemoCache | None = None,
+        min_pool_batch: int = DEFAULT_MIN_POOL_BATCH,
+    ):
+        self.comp = comp
+        self.physical = list(physical)
+        self.hardware = hardware
+        self.n_workers = resolve_workers(n_workers)
+        self.min_pool_batch = min_pool_batch
+        self.memo = memo if memo is not None else global_memo()
+        self.comp_fp = computation_fingerprint(comp)
+        self.hw_fp = hardware_fingerprint(hardware)
+        self.mapping_fps = [mapping_fingerprint(pm) for pm in self.physical]
+        self._pool: WorkerPool | None = None
+
+    # ------------------------------------------------------------------
+    def key_of(self, mapping_index: int, schedule: Schedule) -> str:
+        return candidate_key(
+            self.comp_fp, self.hw_fp, self.mapping_fps[mapping_index], schedule
+        )
+
+    def predict_many(self, items: Sequence[tuple[int, Schedule]]) -> list[float]:
+        """Model predictions (us) for a batch, in submission order."""
+        return [p for p, _ in self._evaluate(items, measure=False)]
+
+    def measure_many(
+        self, items: Sequence[tuple[int, Schedule]]
+    ) -> list[tuple[float, float]]:
+        """(predicted_us, measured_us) pairs for a batch, in order."""
+        return [(p, m) for p, m in self._evaluate(items, measure=True)]
+
+    # ------------------------------------------------------------------
+    def _evaluate(
+        self, items: Sequence[tuple[int, Schedule]], measure: bool
+    ) -> list[tuple[float, float | None]]:
+        if not items:
+            return []
+        keys = [self.key_of(mi, sched) for mi, sched in items]
+        predictions: list[float | None] = [self.memo.get_prediction(k) for k in keys]
+        measurements: list[float | None] = [
+            self.memo.get_measurement(k) if measure else None for k in keys
+        ]
+
+        # A position is a miss when any requested value is unknown; each
+        # distinct key is evaluated once per batch no matter how often it
+        # repeats within the batch.
+        miss_positions: list[int] = []
+        first_position: dict[str, int] = {}
+        duplicate_of: dict[int, int] = {}
+        for pos, key in enumerate(keys):
+            missing = predictions[pos] is None or (measure and measurements[pos] is None)
+            if not missing:
+                continue
+            if key in first_position:
+                duplicate_of[pos] = first_position[key]
+                continue
+            first_position[key] = pos
+            miss_positions.append(pos)
+
+        hits = len(items) - len(miss_positions) - len(duplicate_of)
+        _obs_metrics.counter("engine.cache.hit").inc(hits)
+        _obs_metrics.counter("engine.cache.miss").inc(len(miss_positions))
+
+        with _obs_span(
+            "engine.batch",
+            items=len(items),
+            misses=len(miss_positions),
+            measure=measure,
+        ) as batch_span:
+            use_pool = (
+                self.n_workers > 1 and len(miss_positions) >= self.min_pool_batch
+            )
+            batch_span.set(pooled=use_pool)
+            if use_pool:
+                results = self._pool_evaluate(
+                    [items[pos] for pos in miss_positions], measure
+                )
+            else:
+                results = [
+                    self._inline_evaluate(items[pos], measure)
+                    for pos in miss_positions
+                ]
+
+        for pos, (predicted, measured) in zip(miss_positions, results):
+            key = keys[pos]
+            predictions[pos] = predicted
+            self.memo.put_prediction(key, predicted)
+            if measure:
+                measurements[pos] = measured
+                self.memo.put_measurement(key, measured)
+        for pos, src in duplicate_of.items():
+            predictions[pos] = predictions[src]
+            measurements[pos] = measurements[src]
+        return list(zip(predictions, measurements))
+
+    def _inline_evaluate(
+        self, item: tuple[int, Schedule], measure: bool
+    ) -> tuple[float, float | None]:
+        mapping_index, schedule = item
+        sched = lower_schedule(self.physical[mapping_index], schedule)
+        predicted = predict_latency(sched, self.hardware).total_us
+        measured = simulate_cycles(sched, self.hardware).total_us if measure else None
+        return predicted, measured
+
+    def _pool_evaluate(
+        self, items: list[tuple[int, Schedule]], measure: bool
+    ) -> list[tuple[float, float | None]]:
+        if self._pool is None:
+            with _obs_span("engine.pool.start", workers=self.n_workers):
+                self._pool = WorkerPool(self.physical, self.hardware, self.n_workers)
+        payload = [(mi, sched.to_dict(), measure) for mi, sched in items]
+        _obs_metrics.counter("engine.pool.tasks").inc(len(payload))
+        _obs_metrics.counter("engine.pool.batches").inc()
+        return self._pool.evaluate(payload)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "EvaluationEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,99 @@
+"""Spawn-safe process pool for batch candidate evaluation.
+
+The pool exists because ``predict_latency`` and ``simulate_cycles`` are
+pure CPU-bound Python: a tune run evaluates hundreds of candidates per
+generation and the GIL serialises them on one core.  Workers are started
+with the ``spawn`` method (safe on every platform, no inherited state)
+and receive the evaluation *context* — the list of physical mappings and
+the hardware parameters — exactly once, pickled into the initializer.
+Work items are tiny picklable descriptors ``(mapping_index,
+schedule_dict, measure)``; workers rebuild the ``Schedule`` from its
+descriptor and look the mapping up by index, so per-task payloads stay
+a few hundred bytes regardless of mapping complexity.
+
+Results come back through ``Pool.map``, which preserves submission
+order, so parallel evaluation is deterministic: the caller reassembles
+batches positionally and gets byte-identical results for any worker
+count (both evaluators are themselves deterministic functions of the
+candidate).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import pickle
+from typing import Sequence
+
+from repro.mapping.physical import PhysicalMapping
+from repro.model.hardware_params import HardwareParams
+from repro.model.perf_model import predict_latency
+from repro.schedule.lowering import lower_schedule
+from repro.schedule.schedule import Schedule
+from repro.sim.timing import simulate_cycles
+
+__all__ = ["WorkerPool"]
+
+#: Worker-global evaluation context set by the initializer:
+#: (physical mappings, hardware params).
+_CONTEXT: tuple[list[PhysicalMapping], HardwareParams] | None = None
+
+
+def _init_worker(payload: bytes) -> None:
+    global _CONTEXT
+    _CONTEXT = pickle.loads(payload)
+
+
+def _eval_item(item: tuple[int, dict, bool]) -> tuple[float, float | None]:
+    """Evaluate one candidate in a worker: (predicted_us, measured_us?)."""
+    if _CONTEXT is None:
+        raise RuntimeError("worker used before its context was initialised")
+    mapping_index, schedule_dict, measure = item
+    physical, hw = _CONTEXT
+    sched = lower_schedule(physical[mapping_index], Schedule.from_dict(schedule_dict))
+    predicted = predict_latency(sched, hw).total_us
+    measured = simulate_cycles(sched, hw).total_us if measure else None
+    return predicted, measured
+
+
+class WorkerPool:
+    """A process pool bound to one (physical mappings, hardware) context."""
+
+    def __init__(
+        self,
+        physical: Sequence[PhysicalMapping],
+        hardware: HardwareParams,
+        n_workers: int,
+    ):
+        if n_workers < 2:
+            raise ValueError("WorkerPool needs n_workers >= 2; use in-process execution")
+        self.n_workers = n_workers
+        payload = pickle.dumps(
+            (list(physical), hardware), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        self._pool = multiprocessing.get_context("spawn").Pool(
+            processes=n_workers, initializer=_init_worker, initargs=(payload,)
+        )
+
+    def evaluate(
+        self, items: Sequence[tuple[int, dict, bool]]
+    ) -> list[tuple[float, float | None]]:
+        """Evaluate a batch; results in submission order."""
+        if not items:
+            return []
+        chunksize = max(1, math.ceil(len(items) / (self.n_workers * 4)))
+        return self._pool.map(_eval_item, items, chunksize=chunksize)
+
+    def close(self) -> None:
+        self._pool.close()
+        self._pool.join()
+
+    def terminate(self) -> None:
+        self._pool.terminate()
+        self._pool.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

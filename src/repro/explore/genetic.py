@@ -42,21 +42,28 @@ class GeneticConfig:
 #: together the convergence + diversity signal of the search.
 GenerationCallback = Callable[[int, list[float], int], None]
 
+#: Batch cost function: scores a whole generation in one call, returning
+#: one cost per candidate in order.  This is the hook the evaluation
+#: engine plugs into: a batch can be memo-served and process-pooled.
+BatchFitness = Callable[[list[Candidate]], list[float]]
+
 
 def genetic_search(
     mappings: Sequence[PhysicalMapping],
-    fitness: Callable[[Candidate], float],
+    fitness: Callable[[Candidate], float] | None = None,
     config: GeneticConfig | None = None,
     seeds: Sequence[Candidate] = (),
     spaces: Sequence[ScheduleSpace] | None = None,
     on_generation: GenerationCallback | None = None,
+    fitness_many: BatchFitness | None = None,
 ) -> list[tuple[Candidate, float]]:
     """Run the GA; returns all evaluated (candidate, cost) pairs sorted by
     cost ascending (cost = predicted latency; lower is better).
 
     Args:
         mappings: the valid physical mappings to choose among.
-        fitness: cost function (typically the analytic model's latency).
+        fitness: per-candidate cost function (typically the analytic
+            model's latency).  Optional when ``fitness_many`` is given.
         config: GA hyper-parameters.
         seeds: candidates injected into the initial population (e.g. the
             default heuristic schedule of each pre-ranked mapping).
@@ -67,9 +74,19 @@ def genetic_search(
             for the final population) with the population's fitnesses; it
             observes the search without affecting it — the RNG stream and
             selection are identical with or without a callback.
+        fitness_many: batch cost function scoring a whole generation in
+            one call (one cost per candidate, in order).  The search is
+            byte-identical to the per-candidate path: candidates are
+            scored in population order, the RNG stream never sees the
+            evaluator, and selection compares the same costs.
+
+    One of ``fitness`` / ``fitness_many`` is required; when both are
+    given the batch evaluator wins.
     """
     if not mappings:
         raise ValueError("no mappings to search over")
+    if fitness is None and fitness_many is None:
+        raise ValueError("genetic_search needs a fitness or fitness_many evaluator")
     config = config or GeneticConfig()
     rng = random.Random(config.seed)
     if spaces is None:
@@ -90,10 +107,38 @@ def genetic_search(
     def key_of(c: Candidate) -> str:
         return f"{c.mapping_index}|{c.schedule.describe()}"
 
+    def evaluate_batch(candidates: Sequence[Candidate]) -> None:
+        """Score every not-yet-evaluated candidate, in order.
+
+        Insertion into ``evaluated`` happens in first-appearance order —
+        exactly the order the lazy per-candidate path produces — so the
+        final stable sort tie-breaks identically on both paths.
+        """
+        fresh: list[tuple[str, Candidate]] = []
+        pending: set[str] = set()
+        for c in candidates:
+            k = key_of(c)
+            if k not in evaluated and k not in pending:
+                fresh.append((k, c))
+                pending.add(k)
+        if not fresh:
+            return
+        if fitness_many is not None:
+            costs = fitness_many([c for _, c in fresh])
+            if len(costs) != len(fresh):
+                raise ValueError(
+                    f"fitness_many returned {len(costs)} costs for {len(fresh)} candidates"
+                )
+            for (k, c), cost in zip(fresh, costs):
+                evaluated[k] = (c, cost)
+        else:
+            for k, c in fresh:
+                evaluated[k] = (c, fitness(c))
+
     def evaluate(c: Candidate) -> float:
         k = key_of(c)
         if k not in evaluated:
-            evaluated[k] = (c, fitness(c))
+            evaluate_batch([c])
         return evaluated[k][1]
 
     def observe(generation: int) -> None:
@@ -104,6 +149,7 @@ def genetic_search(
         on_generation(generation, fitnesses, unique)
 
     for gen in range(config.generations):
+        evaluate_batch(population)  # one batch call per generation
         scored = sorted(population, key=evaluate)
         observe(gen)
         elite_count = max(1, int(len(scored) * config.elite_fraction))
@@ -121,7 +167,6 @@ def genetic_search(
             next_pop.append(child)
         population = next_pop
 
-    for c in population:
-        evaluate(c)
+    evaluate_batch(population)
     observe(config.generations)
     return sorted(evaluated.values(), key=lambda pair: pair[1])

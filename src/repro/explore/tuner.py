@@ -6,6 +6,16 @@ genetic search with the analytic model as fitness, measures the
 model-selected top candidates on the cycle simulator, and returns the best
 measured (mapping, schedule) pair with its exploration history — the
 history is what Fig 5's model-validation curves are drawn from.
+
+Every model prediction and simulator measurement flows through one
+:class:`~repro.engine.engine.EvaluationEngine` per tune run: the
+prefilter, the genetic search (via its batch ``fitness_many`` hook), the
+measurement pass and the refinement rounds all submit *batches* of
+candidates.  The engine memoizes by canonical candidate fingerprint and,
+when ``TunerConfig.n_workers`` allows, evaluates large batches on a
+spawn-safe process pool — with results reassembled in submission order,
+so the tuner's output is byte-identical for any worker count and any
+cache temperature.
 """
 
 from __future__ import annotations
@@ -13,21 +23,19 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.engine.engine import EvaluationEngine
 from repro.explore.genetic import Candidate, GeneticConfig, genetic_search
 from repro.ir.compute import ReduceComputation
-from repro.isa.intrinsic import Intrinsic
 from repro.isa.registry import intrinsics_for_target
 from repro.mapping.generation import GenerationOptions, enumerate_mappings
 from repro.mapping.physical import PhysicalMapping, lower_to_physical
 from repro.model.hardware_params import HardwareParams
-from repro.model.perf_model import predict_latency
 from repro.obs import metrics as _obs_metrics
 from repro.obs.explore_log import ExploreLog, current_log, use_log
 from repro.obs.trace import span as _obs_span
 from repro.obs.trace import tracing_enabled as _obs_enabled
 from repro.schedule.lowering import ScheduledMapping, lower_schedule
 from repro.schedule.space import ScheduleSpace, default_schedule
-from repro.sim.timing import simulate_cycles
 
 
 @dataclass
@@ -38,6 +46,13 @@ class TunerConfig:
     every valid mapping is scored with the analytic model under a default
     heuristic schedule and only the top candidates enter the (more
     expensive) genetic schedule search.
+
+    ``n_workers`` / ``min_pool_batch`` / ``cache_dir`` are execution
+    knobs: they control how fast the same answer is produced, never which
+    answer.  ``n_workers=None`` means "one worker per CPU core"
+    (``os.cpu_count()``); ``n_workers=1`` forces pure in-process
+    evaluation.  ``cache_dir`` opts into the persistent compile cache
+    consulted by :func:`repro.compiler.amos_compile`.
     """
 
     population: int = 32
@@ -48,15 +63,25 @@ class TunerConfig:
     refine_neighbors: int = 16
     seed: int = 0
     generation_options: GenerationOptions = field(default_factory=GenerationOptions)
+    n_workers: int | None = None
+    min_pool_batch: int = 16
+    cache_dir: str | None = None
 
 
 @dataclass
 class Trial:
-    """One explored candidate with model prediction and measurement."""
+    """One explored candidate with model prediction and measurement.
+
+    ``mapping_index`` is the candidate's position in the tune run's
+    (prefiltered) mapping list — carried explicitly so downstream stages
+    (refinement seeding, analysis) never have to recover it by object
+    identity from ``scheduled.physical``.
+    """
 
     scheduled: ScheduledMapping
     predicted_us: float
     measured_us: float | None = None
+    mapping_index: int = -1
 
 
 @dataclass
@@ -112,22 +137,39 @@ class Tuner:
             sp.set(num_mappings=len(result))
         return result
 
-    def _prefilter(
-        self, physical: list[PhysicalMapping]
-    ) -> list[PhysicalMapping]:
-        """Keep the mappings the analytic model ranks best under a default
-        schedule (paper Sec 5.3: the model filters inferior mappings)."""
+    def _make_engine(
+        self, comp: ReduceComputation, physical: list[PhysicalMapping]
+    ) -> EvaluationEngine:
+        return EvaluationEngine(
+            comp,
+            physical,
+            self.hardware,
+            n_workers=self.config.n_workers,
+            min_pool_batch=self.config.min_pool_batch,
+        )
+
+    def _prefilter_indices(
+        self, engine: EvaluationEngine, physical: list[PhysicalMapping]
+    ) -> list[int]:
+        """Indices of the mappings the analytic model ranks best under a
+        default schedule (paper Sec 5.3: the model filters inferior
+        mappings); one batch prediction over every candidate mapping."""
         keep = self.config.prefilter_mappings
         if keep <= 0 or len(physical) <= keep:
-            return physical
+            return list(range(len(physical)))
         with _obs_span("tuner.prefilter", candidates=len(physical), keep=keep):
-            scored = []
-            for pm in physical:
-                sched = lower_schedule(pm, default_schedule(pm))
-                scored.append((predict_latency(sched, self.hardware).total_us, pm))
-                _obs_metrics.counter("model.predictions").inc()
-            scored.sort(key=lambda pair: pair[0])
-            return [pm for _, pm in scored[:keep]]
+            items = [(i, default_schedule(pm)) for i, pm in enumerate(physical)]
+            costs = engine.predict_many(items)
+            _obs_metrics.counter("model.predictions").inc(len(items))
+            scored = sorted(zip(costs, range(len(physical))), key=lambda pair: pair[0])
+            return [i for _, i in scored[:keep]]
+
+    def _prefilter(self, physical: list[PhysicalMapping]) -> list[PhysicalMapping]:
+        """Standalone prefilter (kept for callers outside ``tune``)."""
+        if not physical:
+            return []
+        with self._make_engine(physical[0].computation, physical) as engine:
+            return [physical[i] for i in self._prefilter_indices(engine, physical)]
 
     def tune(
         self,
@@ -165,181 +207,237 @@ class Tuner:
         with _obs_span(
             "tuner.tune", operator=comp.name, hardware=self.hardware.name
         ) as tune_span:
-            physical = (
+            all_physical = (
                 mappings if mappings is not None else self.candidate_mappings(comp)
             )
-            if not physical:
+            if not all_physical:
                 raise ValueError(
                     f"no valid mapping of {comp.name} onto target {self.hardware.target!r}"
                 )
 
-            # Model-guided mapping pre-filter: rank mappings under a default
-            # heuristic schedule, keep the top few for the schedule search.
-            physical = self._prefilter(physical)
+            engine = self._make_engine(comp, all_physical)
+            try:
+                return self._explore(comp, all_physical, engine, log, tune_span)
+            finally:
+                engine.close()
+
+    def _explore(
+        self,
+        comp: ReduceComputation,
+        all_physical: list[PhysicalMapping],
+        engine: EvaluationEngine,
+        log: ExploreLog | None,
+        tune_span,
+    ) -> ExplorationResult:
+        # Model-guided mapping pre-filter: rank mappings under a default
+        # heuristic schedule, keep the top few for the schedule search.
+        # ``selected`` maps prefiltered positions back to engine indices.
+        selected = self._prefilter_indices(engine, all_physical)
+        physical = [all_physical[i] for i in selected]
+        if log is not None:
+            log.record_funnel("prefiltered", len(physical))
+
+        # Distinct mappings that receive at least one simulator
+        # measurement (the funnel's final stage).
+        measured_mappings: set[int] = set()
+
+        def record_measurement(
+            mapping_index: int, predicted: float, measured: float
+        ) -> None:
+            measured_mappings.add(mapping_index)
+            _obs_metrics.counter("tuner.measurements").inc()
             if log is not None:
-                log.record_funnel("prefiltered", len(physical))
+                log.record_sample(predicted, measured)
 
-            # Distinct mappings that receive at least one simulator
-            # measurement (the funnel's final stage).
-            measured_mappings: set[int] = set()
+        def fitness_many(candidates: list[Candidate]) -> list[float]:
+            items = [(selected[c.mapping_index], c.schedule) for c in candidates]
+            _obs_metrics.counter("model.predictions").inc(len(items))
+            return engine.predict_many(items)
 
-            def record_measurement(
-                mapping_index: int, predicted: float, measured: float
-            ) -> None:
-                measured_mappings.add(mapping_index)
-                _obs_metrics.counter("tuner.measurements").inc()
-                if log is not None:
-                    log.record_sample(predicted, measured)
+        def measure_batch(
+            candidates: list[Candidate],
+        ) -> list[tuple[float, float]]:
+            items = [(selected[c.mapping_index], c.schedule) for c in candidates]
+            return engine.measure_many(items)
 
-            def fitness(candidate: Candidate) -> float:
+        max_warps = (
+            self.hardware.max_warps_per_subcore * self.hardware.subcores_per_core
+        )
+        spaces = [
+            ScheduleSpace(pm, max_warps_per_block=max_warps) for pm in physical
+        ]
+        seeds = [
+            Candidate(i, default_schedule(pm, max_warps_per_block=max_warps))
+            for i, pm in enumerate(physical)
+        ]
+        ga = GeneticConfig(
+            population=self.config.population,
+            generations=self.config.generations,
+            seed=self.config.seed,
+        )
+        on_generation = None
+        if log is not None:
+            on_generation = log.record_generation
+        with _obs_span("tuner.genetic_search", mappings=len(physical)):
+            ranked = genetic_search(
+                physical,
+                config=ga,
+                seeds=seeds,
+                spaces=spaces,
+                on_generation=on_generation,
+                fitness_many=fitness_many,
+            )
+
+        # Measure on the "hardware": the model's global top plus the best
+        # model-ranked candidate of every surviving mapping, so a mapping
+        # the model slightly misranks still gets one real measurement.
+        to_measure: list[int] = []
+        seen_mappings: set[int] = set()
+        for idx, (candidate, _) in enumerate(ranked):
+            if idx < self.config.measure_top:
+                to_measure.append(idx)
+                seen_mappings.add(candidate.mapping_index)
+            elif candidate.mapping_index not in seen_mappings:
+                to_measure.append(idx)
+                seen_mappings.add(candidate.mapping_index)
+        measured_set = set(to_measure)
+
+        trials: list[Trial] = []
+        best: ScheduledMapping | None = None
+        best_candidate: Candidate | None = None
+        best_us = float("inf")
+
+        # Canonical keys of candidates already measured this run, so the
+        # seed safety net below never simulates (or double-counts in the
+        # trials/telemetry) a candidate the ranked pass covered.
+        measured_keys: set[tuple[int, str]] = set()
+
+        with _obs_span("tuner.measure", candidates=len(measured_set)):
+            measured_results = measure_batch([ranked[idx][0] for idx in to_measure])
+            measured_by_rank = dict(zip(to_measure, measured_results))
+            for idx, (candidate, predicted) in enumerate(ranked):
                 sched = lower_schedule(
                     physical[candidate.mapping_index], candidate.schedule
                 )
-                _obs_metrics.counter("model.predictions").inc()
-                return predict_latency(sched, self.hardware).total_us
-
-            max_warps = (
-                self.hardware.max_warps_per_subcore * self.hardware.subcores_per_core
-            )
-            spaces = [
-                ScheduleSpace(pm, max_warps_per_block=max_warps) for pm in physical
-            ]
-            seeds = [
-                Candidate(i, default_schedule(pm, max_warps_per_block=max_warps))
-                for i, pm in enumerate(physical)
-            ]
-            ga = GeneticConfig(
-                population=self.config.population,
-                generations=self.config.generations,
-                seed=self.config.seed,
-            )
-            on_generation = None
-            if log is not None:
-                on_generation = log.record_generation
-            with _obs_span("tuner.genetic_search", mappings=len(physical)):
-                ranked = genetic_search(
-                    physical,
-                    fitness,
-                    ga,
-                    seeds=seeds,
-                    spaces=spaces,
-                    on_generation=on_generation,
-                )
-
-            # Measure on the "hardware": the model's global top plus the best
-            # model-ranked candidate of every surviving mapping, so a mapping
-            # the model slightly misranks still gets one real measurement.
-            to_measure: list[int] = []
-            seen_mappings: set[int] = set()
-            for idx, (candidate, _) in enumerate(ranked):
-                if idx < self.config.measure_top:
-                    to_measure.append(idx)
-                    seen_mappings.add(candidate.mapping_index)
-                elif candidate.mapping_index not in seen_mappings:
-                    to_measure.append(idx)
-                    seen_mappings.add(candidate.mapping_index)
-            measured_set = set(to_measure)
-
-            trials: list[Trial] = []
-            best: ScheduledMapping | None = None
-            best_candidate: Candidate | None = None
-            best_us = float("inf")
-            with _obs_span("tuner.measure", candidates=len(measured_set)):
-                for idx, (candidate, predicted) in enumerate(ranked):
-                    sched = lower_schedule(
-                        physical[candidate.mapping_index], candidate.schedule
+                if idx in measured_set:
+                    _, measured = measured_by_rank[idx]
+                    measured_keys.add(
+                        (candidate.mapping_index, candidate.schedule.describe())
                     )
-                    if idx in measured_set:
-                        measured = simulate_cycles(sched, self.hardware).total_us
-                        record_measurement(candidate.mapping_index, predicted, measured)
-                        trials.append(Trial(sched, predicted, measured))
-                        if measured < best_us:
-                            best_us = measured
-                            best = sched
-                            best_candidate = candidate
-                    else:
-                        trials.append(Trial(sched, predicted))
-
-                # Safety net: the default heuristic schedule of every mapping
-                # is always measured, so a batch of model-favoured but
-                # infeasible candidates cannot leave the tuner empty-handed.
-                for i, seed_candidate in enumerate(seeds):
-                    sched = lower_schedule(physical[i], seed_candidate.schedule)
-                    predicted = predict_latency(sched, self.hardware).total_us
-                    measured = simulate_cycles(sched, self.hardware).total_us
-                    record_measurement(i, predicted, measured)
-                    trials.append(Trial(sched, predicted, measured))
+                    record_measurement(candidate.mapping_index, predicted, measured)
+                    trials.append(
+                        Trial(sched, predicted, measured, candidate.mapping_index)
+                    )
                     if measured < best_us:
                         best_us = measured
                         best = sched
-                        best_candidate = seed_candidate
-            if best is None or best_candidate is None:
-                raise RuntimeError(f"no feasible schedule found for {comp.name}")
+                        best_candidate = candidate
+                else:
+                    trials.append(
+                        Trial(sched, predicted, mapping_index=candidate.mapping_index)
+                    )
 
-            # Measured refinement rounds: AMOS's tuning loop alternates model-
-            # guided proposal with hardware measurement over many rounds; here
-            # the top measured candidates are hill-climbed with direct
-            # measurements for a few rounds each.
-            measured_trials = sorted(
-                (t for t in trials if t.measured_us is not None),
-                key=lambda t: t.measured_us,
-            )
-            index_by_id = {id(pm): i for i, pm in enumerate(physical)}
-            seeds_for_refine: list[tuple[Candidate, float]] = []
-            seen: set[int] = set()
-            for trial in measured_trials:
-                mi = index_by_id[id(trial.scheduled.physical)]
-                if mi in seen:
-                    continue
-                seen.add(mi)
-                seeds_for_refine.append(
-                    (Candidate(mi, trial.scheduled.schedule), trial.measured_us)
+            # Safety net: the default heuristic schedule of every mapping
+            # is always measured, so a batch of model-favoured but
+            # infeasible candidates cannot leave the tuner empty-handed.
+            # Seeds the ranked pass already measured are skipped: their
+            # values are known and re-appending them would double-count
+            # measurements in the trials and telemetry.
+            net = [
+                seed_candidate
+                for seed_candidate in seeds
+                if (
+                    seed_candidate.mapping_index,
+                    seed_candidate.schedule.describe(),
                 )
-                if len(seeds_for_refine) >= 4:
-                    break
+                not in measured_keys
+            ]
+            for seed_candidate, (predicted, measured) in zip(
+                net, measure_batch(net)
+            ):
+                record_measurement(seed_candidate.mapping_index, predicted, measured)
+                sched = lower_schedule(
+                    physical[seed_candidate.mapping_index], seed_candidate.schedule
+                )
+                trials.append(
+                    Trial(sched, predicted, measured, seed_candidate.mapping_index)
+                )
+                if measured < best_us:
+                    best_us = measured
+                    best = sched
+                    best_candidate = seed_candidate
+        if best is None or best_candidate is None:
+            raise RuntimeError(f"no feasible schedule found for {comp.name}")
 
-            rng = random.Random(self.config.seed + 1)
-            space_cache: dict[int, ScheduleSpace] = {}
-            with _obs_span("tuner.refine", starts=len(seeds_for_refine)):
-                for start_candidate, start_us in seeds_for_refine:
-                    current, current_us = start_candidate, start_us
-                    for _ in range(self.config.refine_rounds):
-                        space = space_cache.setdefault(
-                            current.mapping_index,
-                            ScheduleSpace(physical[current.mapping_index]),
-                        )
-                        improved = False
-                        for _ in range(self.config.refine_neighbors):
-                            neighbor = Candidate(
-                                current.mapping_index,
-                                space.mutate(current.schedule, rng),
-                            )
-                            sched = lower_schedule(
-                                physical[neighbor.mapping_index], neighbor.schedule
-                            )
-                            predicted = predict_latency(sched, self.hardware).total_us
-                            measured = simulate_cycles(sched, self.hardware).total_us
-                            record_measurement(
-                                neighbor.mapping_index, predicted, measured
-                            )
-                            trials.append(Trial(sched, predicted, measured))
-                            if measured < current_us:
-                                current_us = measured
-                                current = neighbor
-                                improved = True
-                            if measured < best_us:
-                                best_us = measured
-                                best = sched
-                        if not improved:
-                            break
-
-            if log is not None:
-                log.record_funnel("measured", len(measured_mappings))
-            tune_span.set(best_us=best_us, num_mappings=len(physical))
-            return ExplorationResult(
-                best=best,
-                best_us=best_us,
-                trials=trials,
-                num_mappings=len(physical),
-                telemetry=log,
+        # Measured refinement rounds: AMOS's tuning loop alternates model-
+        # guided proposal with hardware measurement over many rounds; here
+        # the top measured candidates are hill-climbed for a few rounds
+        # each.  A round draws all its neighbors from the round's starting
+        # point and measures them as one batch, then steps to the round's
+        # best improvement — deterministic for any worker count.
+        measured_trials = sorted(
+            (t for t in trials if t.measured_us is not None),
+            key=lambda t: t.measured_us,
+        )
+        seeds_for_refine: list[tuple[Candidate, float]] = []
+        seen: set[int] = set()
+        for trial in measured_trials:
+            mi = trial.mapping_index
+            if mi in seen:
+                continue
+            seen.add(mi)
+            seeds_for_refine.append(
+                (Candidate(mi, trial.scheduled.schedule), trial.measured_us)
             )
+            if len(seeds_for_refine) >= 4:
+                break
+
+        rng = random.Random(self.config.seed + 1)
+        with _obs_span("tuner.refine", starts=len(seeds_for_refine)):
+            for start_candidate, start_us in seeds_for_refine:
+                current, current_us = start_candidate, start_us
+                for _ in range(self.config.refine_rounds):
+                    # The same hardware-capped spaces the GA sampled from:
+                    # hill-climbing must not mutate into schedules that
+                    # exceed the device's warp budget.
+                    space = spaces[current.mapping_index]
+                    neighbors = [
+                        Candidate(
+                            current.mapping_index,
+                            space.mutate(current.schedule, rng),
+                        )
+                        for _ in range(self.config.refine_neighbors)
+                    ]
+                    improved = False
+                    for neighbor, (predicted, measured) in zip(
+                        neighbors, measure_batch(neighbors)
+                    ):
+                        record_measurement(
+                            neighbor.mapping_index, predicted, measured
+                        )
+                        sched = lower_schedule(
+                            physical[neighbor.mapping_index], neighbor.schedule
+                        )
+                        trials.append(
+                            Trial(sched, predicted, measured, neighbor.mapping_index)
+                        )
+                        if measured < current_us:
+                            current_us = measured
+                            current = neighbor
+                            improved = True
+                        if measured < best_us:
+                            best_us = measured
+                            best = sched
+                    if not improved:
+                        break
+
+        if log is not None:
+            log.record_funnel("measured", len(measured_mappings))
+        tune_span.set(best_us=best_us, num_mappings=len(physical))
+        return ExplorationResult(
+            best=best,
+            best_us=best_us,
+            trials=trials,
+            num_mappings=len(physical),
+            telemetry=log,
+        )

@@ -74,6 +74,41 @@ class Schedule:
     def split_for(self, dim_name: str) -> DimSplit:
         return self.splits.get(dim_name, DimSplit(1, 1))
 
+    def to_dict(self) -> dict:
+        """Plain-JSON descriptor; the inverse of :meth:`from_dict`.
+
+        This is the wire format of the schedule: the engine's worker pool
+        ships candidates as descriptors (rebuilding ``Schedule`` objects
+        worker-side) and the persistent compile cache stores the winning
+        schedule in the same form.
+        """
+        return {
+            "splits": {name: [s.warp, s.seq] for name, s in sorted(self.splits.items())},
+            "reduce_stage": self.reduce_stage,
+            "double_buffer": self.double_buffer,
+            "unroll": self.unroll,
+            "vectorize": self.vectorize,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Schedule":
+        """Rebuild a schedule from a :meth:`to_dict` descriptor.
+
+        Strict by design: a descriptor always comes from ``to_dict``, so
+        a missing field means corrupt input (e.g. a hand-edited cache
+        entry) and raises rather than silently defaulting.
+        """
+        return Schedule(
+            splits={
+                name: DimSplit(warp=int(warp), seq=int(seq))
+                for name, (warp, seq) in data["splits"].items()
+            },
+            reduce_stage=int(data["reduce_stage"]),
+            double_buffer=bool(data["double_buffer"]),
+            unroll=int(data["unroll"]),
+            vectorize=int(data["vectorize"]),
+        )
+
     def describe(self) -> str:
         parts = [
             f"{name}: warp={s.warp} seq={s.seq}" for name, s in sorted(self.splits.items())
