@@ -1,0 +1,245 @@
+"""Benchmark: the vectorized batch-evaluation path (feature tables +
+``batch_predict`` / ``batch_simulate``).
+
+Two measurements, written to ``benchmarks/results/BENCH_batch_eval.json``:
+
+1. **batch fitness throughput** — one GA-generation-shaped batch of
+   schedule candidates pushed through ``EvaluationEngine`` with
+   ``vectorized=True`` vs ``vectorized=False`` (cold memo each
+   repetition, ``n_workers=1`` so the evaluators themselves are
+   compared, not the pool).  The array path must deliver at least **5x
+   candidates/sec** on the model-only fitness batch, and the results of
+   the two paths must be bit-identical.
+2. **tune wall time before/after** — the same full ``Tuner.tune`` run
+   with the scalar and the vectorized engine.  Identical results (the
+   flag is an execution knob), wall-clock reported for both.
+
+Runnable standalone (``python benchmarks/bench_batch_eval.py
+[--quick]``) and re-exported by ``tests/test_batch_eval_bench.py`` so
+the quick-mode assertions run under the tier-1 command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import random
+import sys
+import time
+
+from repro.engine import EvaluationEngine, MemoCache
+from repro.engine.cache import reset_global_memo
+from repro.explore.tuner import Tuner, TunerConfig
+from repro.frontends.operators import make_operator
+from repro.isa.registry import intrinsics_for_target
+from repro.mapping.generation import GenerationOptions, enumerate_mappings
+from repro.mapping.physical import lower_to_physical
+from repro.model import get_hardware
+from repro.schedule.space import ScheduleSpace
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+RESULT_FILE = "BENCH_batch_eval.json"
+
+#: Candidates per fitness batch — a large GA generation.  Kept the same
+#: in quick and full mode: the batch evaluators run in milliseconds, so
+#: the asserted >=5x contract is always measured at a realistic size.
+FITNESS_BATCH = 256
+FITNESS_REPEATS = 5
+MIN_FITNESS_SPEEDUP = 5.0
+
+QUICK_CONFIG = TunerConfig(
+    population=8,
+    generations=2,
+    measure_top=8,
+    refine_rounds=1,
+    refine_neighbors=4,
+    n_workers=1,
+)
+FULL_CONFIG = TunerConfig(n_workers=1)
+
+
+def _context():
+    comp = make_operator("GMM", m=64, n=64, k=64)
+    hw = get_hardware("v100")
+    physical = [
+        lower_to_physical(m)
+        for intr in intrinsics_for_target(hw.target)
+        for m in enumerate_mappings(comp, intr, GenerationOptions())
+    ]
+    return comp, hw, physical
+
+
+def _fitness_items(physical, hw, count):
+    """A GA-generation-shaped batch: random schedules spread over all
+    mappings, shuffled so groups interleave as they do in real batches."""
+    rng = random.Random(2024)
+    per_mapping = count // len(physical) + 1
+    items = []
+    for mi, pm in enumerate(physical):
+        space = ScheduleSpace(
+            pm,
+            max_warps_per_block=hw.max_warps_per_subcore * hw.subcores_per_core,
+        )
+        items.extend((mi, space.sample(rng)) for _ in range(per_mapping))
+    rng.shuffle(items)
+    return items[:count]
+
+
+def _throughput(comp, hw, physical, items, vectorized, measure):
+    """Best-of-N cold-memo throughput (candidates/sec) plus the results
+    themselves, for the bit-identity check."""
+    best_s = float("inf")
+    results = None
+    for _ in range(FITNESS_REPEATS):
+        with EvaluationEngine(
+            comp, physical, hw, n_workers=1, memo=MemoCache(), vectorized=vectorized
+        ) as engine:
+            start = time.perf_counter()
+            if measure:
+                results = engine.measure_many(items)
+            else:
+                results = engine.predict_many(items)
+            best_s = min(best_s, time.perf_counter() - start)
+    return len(items) / best_s, best_s, results
+
+
+def run_fitness_throughput() -> dict:
+    comp, hw, physical = _context()
+    items = _fitness_items(physical, hw, FITNESS_BATCH)
+
+    report = {"batch_size": len(items), "num_mappings": len(physical)}
+    for measure, label in ((False, "fitness"), (True, "measured")):
+        vec_cps, vec_s, vec_results = _throughput(
+            comp, hw, physical, items, vectorized=True, measure=measure
+        )
+        sca_cps, sca_s, sca_results = _throughput(
+            comp, hw, physical, items, vectorized=False, measure=measure
+        )
+        report[label] = {
+            "vectorized_cand_per_s": vec_cps,
+            "scalar_cand_per_s": sca_cps,
+            "vectorized_wall_s": vec_s,
+            "scalar_wall_s": sca_s,
+            "speedup": vec_cps / sca_cps if sca_cps else 0.0,
+            "identical": vec_results == sca_results,
+        }
+    return report
+
+
+def _timed_tune(comp, config: TunerConfig) -> tuple[float, object]:
+    reset_global_memo()
+    tuner = Tuner(get_hardware("v100"), config)
+    start = time.perf_counter()
+    result = tuner.tune(comp)
+    return time.perf_counter() - start, result
+
+
+def run_tune_comparison(quick: bool) -> dict:
+    """The full tune loop, scalar engine vs vectorized engine."""
+    if quick:
+        comp = make_operator("GMM", m=64, n=64, k=64)
+        base = QUICK_CONFIG
+        workload = "GMM m=64 n=64 k=64"
+    else:
+        comp = make_operator("C2D", n=1, c=16, k=16, h=14, w=14, r=3, s=3, stride=1)
+        base = FULL_CONFIG
+        workload = "C2D c=16 k=16 h=14 w=14"
+
+    scalar_s, scalar = _timed_tune(
+        comp, dataclasses.replace(base, vectorized=False)
+    )
+    vector_s, vector = _timed_tune(
+        comp, dataclasses.replace(base, vectorized=True)
+    )
+    reset_global_memo()
+
+    def fingerprint(result):
+        return [
+            (t.mapping_index, t.predicted_us, t.measured_us)
+            for t in result.trials
+        ]
+
+    return {
+        "workload": workload,
+        "scalar": {"wall_s": scalar_s, "best_us": scalar.best_us},
+        "vectorized": {"wall_s": vector_s, "best_us": vector.best_us},
+        "identical": (
+            scalar.best_us == vector.best_us
+            and fingerprint(scalar) == fingerprint(vector)
+        ),
+        "speedup": scalar_s / vector_s if vector_s else 0.0,
+    }
+
+
+def run_bench(quick: bool) -> dict:
+    report = {
+        "quick": quick,
+        "fitness_throughput": run_fitness_throughput(),
+        "tune": run_tune_comparison(quick),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / RESULT_FILE
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def check_bench(report: dict) -> None:
+    """The batch path's contract: bit-identical and much faster."""
+    fitness = report["fitness_throughput"]
+    for label in ("fitness", "measured"):
+        section = fitness[label]
+        assert section["identical"], (
+            f"vectorized {label} results diverged from scalar: {section}"
+        )
+    assert fitness["fitness"]["speedup"] >= MIN_FITNESS_SPEEDUP, (
+        f"batch fitness must be >= {MIN_FITNESS_SPEEDUP}x the scalar path, "
+        f"got {fitness['fitness']['speedup']:.2f}x"
+    )
+
+    tune = report["tune"]
+    assert tune["identical"], (
+        f"the vectorized flag changed the tune result: {tune}"
+    )
+    # Wall-clock of the whole tune also includes enumeration, GA state
+    # and trial construction, so the end-to-end win is reported but only
+    # a no-regression floor is asserted.
+    assert tune["speedup"] >= 1.0 - 0.25, (
+        f"vectorized tune slower than scalar beyond tolerance: {tune}"
+    )
+
+
+def test_batch_eval_bench_quick():
+    report = run_bench(quick=True)
+    check_bench(report)
+    fitness, tune = report["fitness_throughput"], report["tune"]
+    print(
+        f"\nfitness batch ({fitness['batch_size']} candidates): "
+        f"vectorized {fitness['fitness']['vectorized_cand_per_s']:,.0f} cand/s, "
+        f"scalar {fitness['fitness']['scalar_cand_per_s']:,.0f} cand/s "
+        f"({fitness['fitness']['speedup']:.1f}x); "
+        f"measured pass {fitness['measured']['speedup']:.1f}x"
+        f"\ntune {tune['workload']}: scalar {tune['scalar']['wall_s']:.3f}s, "
+        f"vectorized {tune['vectorized']['wall_s']:.3f}s "
+        f"({tune['speedup']:.2f}x, identical={tune['identical']})"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small tune budget + assertions (the tier-1 configuration)",
+    )
+    args = parser.parse_args(argv)
+    report = run_bench(quick=args.quick)
+    check_bench(report)
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {RESULTS_DIR / RESULT_FILE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ from repro.engine.cache import (
 from repro.engine.engine import EvaluationEngine, resolve_workers
 from repro.engine.fingerprint import (
     candidate_key,
+    candidate_key_from_describe,
     computation_fingerprint,
     hardware_fingerprint,
     mapping_fingerprint,
@@ -46,6 +47,7 @@ __all__ = [
     "MemoCache",
     "WorkerPool",
     "candidate_key",
+    "candidate_key_from_describe",
     "compile_cache_for",
     "computation_fingerprint",
     "global_memo",

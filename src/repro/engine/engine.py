@@ -11,11 +11,22 @@ schedule)`` items; the engine
    are enough of them to amortise inter-process transfer — and
 4. returns results in submission order.
 
-Determinism is the design invariant: both evaluators are pure functions
+Misses take the vectorized path by default (``vectorized=True``): they
+are grouped by mapping, each mapping's :class:`MappingFeatures` table is
+derived once per engine, the group's schedules are encoded as numpy
+arrays (sharing the ``describe()`` strings already rendered for the memo
+keys) and evaluated through ``batch_predict`` / ``batch_simulate``.  On
+the pool the groups ship as array chunks — feature tables are rebuilt
+worker-side from the context, so no per-candidate objects cross the
+process boundary.  The batch evaluators are bit-identical to the scalar
+ones (``vectorized=False``), so the flag is an execution knob, never a
+results knob.
+
+Determinism is the design invariant: all evaluators are pure functions
 of the candidate, batches are reassembled positionally, and the memo
 only short-circuits recomputation of identical values, so ``n_workers=1``
-(pure in-process), ``n_workers=N`` and warm-cache runs all produce
-byte-identical results.
+(pure in-process), ``n_workers=N``, warm-cache and vectorized/scalar
+runs all produce byte-identical results.
 
 Observability: every batch opens an ``engine.batch`` span and feeds the
 ``engine.cache.{hit,miss}`` and ``engine.pool.{tasks,batches}`` counters
@@ -25,12 +36,14 @@ hit rates and pool utilisation.
 
 from __future__ import annotations
 
+import math
 import os
 from typing import Sequence
 
 from repro.engine.cache import MemoCache, global_memo
 from repro.engine.fingerprint import (
     candidate_key,
+    candidate_key_from_describe,
     computation_fingerprint,
     hardware_fingerprint,
     mapping_fingerprint,
@@ -38,12 +51,15 @@ from repro.engine.fingerprint import (
 from repro.engine.pool import WorkerPool
 from repro.ir.compute import ReduceComputation
 from repro.mapping.physical import PhysicalMapping
+from repro.model.batch_model import batch_predict
 from repro.model.hardware_params import HardwareParams
 from repro.model.perf_model import predict_latency
 from repro.obs import metrics as _obs_metrics
 from repro.obs.trace import span as _obs_span
+from repro.schedule.features import MappingFeatures, derive_batch, encode_schedules
 from repro.schedule.lowering import lower_schedule
 from repro.schedule.schedule import Schedule
+from repro.sim.batch_timing import batch_simulate
 from repro.sim.timing import simulate_cycles
 
 __all__ = ["EvaluationEngine", "resolve_workers"]
@@ -73,17 +89,23 @@ class EvaluationEngine:
         n_workers: int | None = None,
         memo: MemoCache | None = None,
         min_pool_batch: int = DEFAULT_MIN_POOL_BATCH,
+        vectorized: bool = True,
     ):
         self.comp = comp
         self.physical = list(physical)
         self.hardware = hardware
         self.n_workers = resolve_workers(n_workers)
         self.min_pool_batch = min_pool_batch
+        self.vectorized = vectorized
         self.memo = memo if memo is not None else global_memo()
         self.comp_fp = computation_fingerprint(comp)
         self.hw_fp = hardware_fingerprint(hardware)
         self.mapping_fps = [mapping_fingerprint(pm) for pm in self.physical]
         self._pool: WorkerPool | None = None
+        # Feature tables are pure functions of the mapping; derived lazily
+        # (a tune run touches a prefiltered subset) and kept for the
+        # engine's lifetime.
+        self._features: dict[int, MappingFeatures] = {}
 
     # ------------------------------------------------------------------
     def key_of(self, mapping_index: int, schedule: Schedule) -> str:
@@ -107,7 +129,16 @@ class EvaluationEngine:
     ) -> list[tuple[float, float | None]]:
         if not items:
             return []
-        keys = [self.key_of(mi, sched) for mi, sched in items]
+        # Each schedule's describe() string is rendered exactly once: it is
+        # both the schedule half of the memo key and (on the vectorized
+        # path) the jitter-key component shipped in the batch encoding.
+        describes = [sched.describe() for _, sched in items]
+        keys = [
+            candidate_key_from_describe(
+                self.comp_fp, self.hw_fp, self.mapping_fps[mi], describe
+            )
+            for (mi, _), describe in zip(items, describes)
+        ]
         predictions: list[float | None] = [self.memo.get_prediction(k) for k in keys]
         measurements: list[float | None] = [
             self.memo.get_measurement(k) if measure else None for k in keys
@@ -142,8 +173,12 @@ class EvaluationEngine:
             use_pool = (
                 self.n_workers > 1 and len(miss_positions) >= self.min_pool_batch
             )
-            batch_span.set(pooled=use_pool)
-            if use_pool:
+            batch_span.set(pooled=use_pool, vectorized=self.vectorized)
+            if self.vectorized:
+                results = self._batch_evaluate(
+                    miss_positions, items, describes, measure, use_pool
+                )
+            elif use_pool:
                 results = self._pool_evaluate(
                     [items[pos] for pos in miss_positions], measure
                 )
@@ -173,6 +208,89 @@ class EvaluationEngine:
         predicted = predict_latency(sched, self.hardware).total_us
         measured = simulate_cycles(sched, self.hardware).total_us if measure else None
         return predicted, measured
+
+    # -- vectorized path ------------------------------------------------
+    def features_of(self, mapping_index: int) -> MappingFeatures:
+        """The mapping's feature table, derived once per engine."""
+        features = self._features.get(mapping_index)
+        if features is None:
+            features = MappingFeatures.from_physical(self.physical[mapping_index])
+            self._features[mapping_index] = features
+        return features
+
+    def _batch_evaluate(
+        self,
+        miss_positions: list[int],
+        items: Sequence[tuple[int, Schedule]],
+        describes: list[str],
+        measure: bool,
+        use_pool: bool,
+    ) -> list[tuple[float, float | None]]:
+        """Evaluate the misses through the array path, grouped by mapping.
+
+        Returns results aligned with ``miss_positions``.
+        """
+        groups: dict[int, list[int]] = {}
+        for pos in miss_positions:
+            groups.setdefault(items[pos][0], []).append(pos)
+
+        # Each chunk is one parallel work unit; aim for ~4 per worker as
+        # the scalar pool path does so stragglers even out.
+        if use_pool:
+            target = max(1, math.ceil(len(miss_positions) / (self.n_workers * 4)))
+        else:
+            target = len(miss_positions)
+        chunks: list[tuple[int, list[int]]] = []
+        for mapping_index, positions in groups.items():
+            for start in range(0, len(positions), target):
+                chunks.append((mapping_index, positions[start : start + target]))
+
+        payload = [
+            (
+                mapping_index,
+                encode_schedules(
+                    self.features_of(mapping_index),
+                    [items[pos][1] for pos in positions],
+                    [describes[pos] for pos in positions],
+                ),
+                measure,
+            )
+            for mapping_index, positions in chunks
+        ]
+        if use_pool:
+            if self._pool is None:
+                with _obs_span("engine.pool.start", workers=self.n_workers):
+                    self._pool = WorkerPool(
+                        self.physical, self.hardware, self.n_workers
+                    )
+            _obs_metrics.counter("engine.pool.tasks").inc(len(miss_positions))
+            _obs_metrics.counter("engine.pool.batches").inc()
+            chunk_results = self._pool.evaluate_groups(payload)
+        else:
+            chunk_results = [
+                self._eval_batch_inline(features_index, batch, m)
+                for features_index, batch, m in payload
+            ]
+
+        by_position: dict[int, tuple[float, float | None]] = {}
+        for (_, positions), results in zip(chunks, chunk_results):
+            for pos, result in zip(positions, results):
+                by_position[pos] = result
+        return [by_position[pos] for pos in miss_positions]
+
+    def _eval_batch_inline(
+        self, mapping_index: int, batch, measure: bool
+    ) -> list[tuple[float, float | None]]:
+        features = self.features_of(mapping_index)
+        quantities = derive_batch(features, batch)
+        prediction = batch_predict(features, batch, self.hardware, quantities=quantities)
+        if not measure:
+            return [(float(p), None) for p in prediction.total_us]
+        timing = batch_simulate(features, batch, self.hardware, quantities=quantities)
+        return [
+            (float(p), float(m))
+            for p, m in zip(prediction.total_us, timing.total_us)
+        ]
 
     def _pool_evaluate(
         self, items: list[tuple[int, Schedule]], measure: bool

@@ -37,6 +37,7 @@ from repro.schedule.schedule import Schedule
 
 __all__ = [
     "candidate_key",
+    "candidate_key_from_describe",
     "computation_fingerprint",
     "hardware_fingerprint",
     "mapping_fingerprint",
@@ -85,7 +86,16 @@ def mapping_fingerprint(pm: PhysicalMapping) -> str:
 
 def candidate_key(comp_fp: str, hw_fp: str, mapping_fp: str, schedule: Schedule) -> str:
     """Canonical memo key of one evaluated (mapping, schedule) candidate."""
-    return f"{comp_fp}|{hw_fp}|{mapping_fp}|{schedule.describe()}"
+    return candidate_key_from_describe(comp_fp, hw_fp, mapping_fp, schedule.describe())
+
+
+def candidate_key_from_describe(
+    comp_fp: str, hw_fp: str, mapping_fp: str, describe: str
+) -> str:
+    """``candidate_key`` for a schedule whose ``describe()`` string the
+    caller already rendered (the engine renders each once per batch and
+    shares it between memo keys and the vectorized schedule encoding)."""
+    return f"{comp_fp}|{hw_fp}|{mapping_fp}|{describe}"
 
 
 #: TunerConfig fields that change exploration *results*; everything else

@@ -6,16 +6,23 @@ generation and the GIL serialises them on one core.  Workers are started
 with the ``spawn`` method (safe on every platform, no inherited state)
 and receive the evaluation *context* — the list of physical mappings and
 the hardware parameters — exactly once, pickled into the initializer.
-Work items are tiny picklable descriptors ``(mapping_index,
-schedule_dict, measure)``; workers rebuild the ``Schedule`` from its
-descriptor and look the mapping up by index, so per-task payloads stay
-a few hundred bytes regardless of mapping complexity.
+Work items come in two shapes.  The scalar path ships tiny picklable
+descriptors ``(mapping_index, schedule_dict, measure)``; workers rebuild
+the ``Schedule`` from its descriptor and look the mapping up by index,
+so per-task payloads stay a few hundred bytes regardless of mapping
+complexity.  The vectorized path ships *group chunks* ``(mapping_index,
+ScheduleBatch, measure)`` — one mapping's schedules encoded as numpy
+arrays — and workers evaluate the whole chunk through
+``batch_predict`` / ``batch_simulate``, rebuilding (and caching) the
+mapping's :class:`MappingFeatures` table on first use.  No per-candidate
+objects ever cross the process boundary on that path.
 
 Results come back through ``Pool.map``, which preserves submission
 order, so parallel evaluation is deterministic: the caller reassembles
 batches positionally and gets byte-identical results for any worker
-count (both evaluators are themselves deterministic functions of the
-candidate).
+count (all evaluators are themselves deterministic functions of the
+candidate, and the batch evaluators are bit-identical to the scalar
+ones).
 """
 
 from __future__ import annotations
@@ -26,10 +33,13 @@ import pickle
 from typing import Sequence
 
 from repro.mapping.physical import PhysicalMapping
+from repro.model.batch_model import batch_predict
 from repro.model.hardware_params import HardwareParams
 from repro.model.perf_model import predict_latency
+from repro.schedule.features import MappingFeatures, ScheduleBatch, derive_batch
 from repro.schedule.lowering import lower_schedule
 from repro.schedule.schedule import Schedule
+from repro.sim.batch_timing import batch_simulate
 from repro.sim.timing import simulate_cycles
 
 __all__ = ["WorkerPool"]
@@ -38,10 +48,16 @@ __all__ = ["WorkerPool"]
 #: (physical mappings, hardware params).
 _CONTEXT: tuple[list[PhysicalMapping], HardwareParams] | None = None
 
+#: Worker-global feature-table cache: mapping index -> MappingFeatures.
+#: Feature tables are pure functions of the context's mappings, so each
+#: worker derives one at most once per mapping for the pool's lifetime.
+_FEATURES: dict[int, MappingFeatures] = {}
+
 
 def _init_worker(payload: bytes) -> None:
     global _CONTEXT
     _CONTEXT = pickle.loads(payload)
+    _FEATURES.clear()
 
 
 def _eval_item(item: tuple[int, dict, bool]) -> tuple[float, float | None]:
@@ -54,6 +70,29 @@ def _eval_item(item: tuple[int, dict, bool]) -> tuple[float, float | None]:
     predicted = predict_latency(sched, hw).total_us
     measured = simulate_cycles(sched, hw).total_us if measure else None
     return predicted, measured
+
+
+def _eval_group(
+    item: tuple[int, ScheduleBatch, bool]
+) -> list[tuple[float, float | None]]:
+    """Evaluate one mapping's schedule-batch chunk through the array path."""
+    if _CONTEXT is None:
+        raise RuntimeError("worker used before its context was initialised")
+    mapping_index, batch, measure = item
+    physical, hw = _CONTEXT
+    features = _FEATURES.get(mapping_index)
+    if features is None:
+        features = MappingFeatures.from_physical(physical[mapping_index])
+        _FEATURES[mapping_index] = features
+    quantities = derive_batch(features, batch)
+    prediction = batch_predict(features, batch, hw, quantities=quantities)
+    if not measure:
+        return [(float(p), None) for p in prediction.total_us]
+    timing = batch_simulate(features, batch, hw, quantities=quantities)
+    return [
+        (float(p), float(m))
+        for p, m in zip(prediction.total_us, timing.total_us)
+    ]
 
 
 class WorkerPool:
@@ -83,6 +122,16 @@ class WorkerPool:
             return []
         chunksize = max(1, math.ceil(len(items) / (self.n_workers * 4)))
         return self._pool.map(_eval_item, items, chunksize=chunksize)
+
+    def evaluate_groups(
+        self, groups: Sequence[tuple[int, ScheduleBatch, bool]]
+    ) -> list[list[tuple[float, float | None]]]:
+        """Evaluate schedule-batch chunks; one result list per chunk, in
+        submission order.  Each chunk is already a unit of parallel work
+        (the engine sizes them to the pool), so ``chunksize=1``."""
+        if not groups:
+            return []
+        return self._pool.map(_eval_group, groups, chunksize=1)
 
     def close(self) -> None:
         self._pool.close()

@@ -47,12 +47,15 @@ class TunerConfig:
     heuristic schedule and only the top candidates enter the (more
     expensive) genetic schedule search.
 
-    ``n_workers`` / ``min_pool_batch`` / ``cache_dir`` are execution
-    knobs: they control how fast the same answer is produced, never which
-    answer.  ``n_workers=None`` means "one worker per CPU core"
-    (``os.cpu_count()``); ``n_workers=1`` forces pure in-process
-    evaluation.  ``cache_dir`` opts into the persistent compile cache
-    consulted by :func:`repro.compiler.amos_compile`.
+    ``n_workers`` / ``min_pool_batch`` / ``vectorized`` / ``cache_dir``
+    are execution knobs: they control how fast the same answer is
+    produced, never which answer.  ``n_workers=None`` means "one worker
+    per CPU core" (``os.cpu_count()``); ``n_workers=1`` forces pure
+    in-process evaluation.  ``vectorized`` selects the engine's array
+    fast path (feature tables + batch evaluators, bit-identical to the
+    scalar evaluators); ``vectorized=False`` falls back to per-candidate
+    scalar evaluation.  ``cache_dir`` opts into the persistent compile
+    cache consulted by :func:`repro.compiler.amos_compile`.
     """
 
     population: int = 32
@@ -65,6 +68,7 @@ class TunerConfig:
     generation_options: GenerationOptions = field(default_factory=GenerationOptions)
     n_workers: int | None = None
     min_pool_batch: int = 16
+    vectorized: bool = True
     cache_dir: str | None = None
 
 
@@ -146,6 +150,7 @@ class Tuner:
             self.hardware,
             n_workers=self.config.n_workers,
             min_pool_batch=self.config.min_pool_batch,
+            vectorized=self.config.vectorized,
         )
 
     def _prefilter_indices(

@@ -148,7 +148,16 @@ class ReduceComputation:
 
         Entry ``(t, i)`` is 1 when iteration ``i`` appears in any index of
         tensor ``t``.  This is the matrix ``X`` of Algorithm 1.
+
+        The matrix is derived once and memoized on the (frozen) instance:
+        mapping enumeration and validation re-request it for every
+        candidate matching, and the expression walk is by far the
+        expensive part.  The returned array is marked read-only because
+        callers across validation/enumeration share one instance.
         """
+        cached = self.__dict__.get("_access_matrix")
+        if cached is not None:
+            return cached
         tensors = self.tensors
         all_vars = [iv.var for iv in self.iter_vars]
         matrix = np.zeros((len(tensors), len(all_vars)), dtype=np.int8)
@@ -160,6 +169,8 @@ class ReduceComputation:
             for col, var in enumerate(all_vars):
                 if var in used:
                     matrix[row, col] = 1
+        matrix.setflags(write=False)
+        object.__setattr__(self, "_access_matrix", matrix)
         return matrix
 
     # ------------------------------------------------------------------

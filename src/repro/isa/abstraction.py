@@ -65,7 +65,12 @@ class ComputeAbstraction:
         raise KeyError(f"intrinsic has no operand {operand!r}")
 
     def access_matrix(self) -> np.ndarray:
-        """Matrix ``Z`` of Algorithm 1: operands x intrinsic iterations."""
+        """Matrix ``Z`` of Algorithm 1: operands x intrinsic iterations.
+
+        Memoized via :meth:`ReduceComputation.access_matrix` — every
+        ``validate_mapping`` call re-requests both ``X`` and ``Z``, and
+        registered intrinsics live for the whole process.
+        """
         return self.computation.access_matrix()
 
     def macs_per_call(self) -> int:

@@ -42,7 +42,10 @@ class MatchingMatrix:
         arr = np.asarray(self.data, dtype=np.int8)
         if arr.ndim != 2:
             raise ValueError("matching matrix must be 2-D")
-        if not np.isin(arr, (0, 1)).all():
+        # Plain comparisons instead of np.isin: _isin builds sorted
+        # lookup structures and dominates the enumeration profile for
+        # these tiny matrices.
+        if not ((arr == 0) | (arr == 1)).all():
             raise ValueError("matching matrix must be binary")
         object.__setattr__(self, "data", arr)
 

@@ -2,10 +2,13 @@
 
 from repro.model.hardware_params import HardwareParams, get_hardware, list_hardware
 from repro.model.perf_model import predict_latency, PerfPrediction
+from repro.model.batch_model import batch_predict, BatchPrediction
 
 __all__ = [
+    "BatchPrediction",
     "HardwareParams",
     "PerfPrediction",
+    "batch_predict",
     "get_hardware",
     "list_hardware",
     "predict_latency",

@@ -8,14 +8,28 @@ sampled by the explorer.
 
 from repro.schedule.schedule import Schedule, DimSplit
 from repro.schedule.lowering import ScheduledMapping, lower_schedule, macro_dims
+from repro.schedule.features import (
+    BatchQuantities,
+    MappingFeatures,
+    OperandFeature,
+    ScheduleBatch,
+    derive_batch,
+    encode_schedules,
+)
 from repro.schedule.space import ScheduleSpace, default_schedule
 
 __all__ = [
+    "BatchQuantities",
     "DimSplit",
+    "MappingFeatures",
+    "OperandFeature",
     "Schedule",
+    "ScheduleBatch",
     "ScheduleSpace",
     "ScheduledMapping",
     "default_schedule",
+    "derive_batch",
+    "encode_schedules",
     "lower_schedule",
     "macro_dims",
 ]

@@ -17,5 +17,12 @@ deterministic simulator with two faces:
 
 from repro.sim.executor import execute_mapping
 from repro.sim.timing import simulate_cycles, TimingBreakdown
+from repro.sim.batch_timing import batch_simulate, BatchTiming
 
-__all__ = ["execute_mapping", "simulate_cycles", "TimingBreakdown"]
+__all__ = [
+    "BatchTiming",
+    "TimingBreakdown",
+    "batch_simulate",
+    "execute_mapping",
+    "simulate_cycles",
+]

@@ -70,10 +70,13 @@ class MappedExecutor:
                 "operand count mismatch between computation and intrinsic"
             )
         variables = [iv.var for iv in self.computation.iter_vars]
-        self._affine_cache = {
-            id(access): [extract_affine(idx, variables) for idx in access.indices]
+        # Keyed by operand index (position in self._software_accesses),
+        # not id(access): identity keys silently miss when an equal
+        # access object arrives via a different code path.
+        self._affine_cache = [
+            [extract_affine(idx, variables) for idx in access.indices]
             for access in self._software_accesses
-        }
+        ]
         self._var_targets: dict[Var, tuple[int, ...]] = {}
         for c, iv in enumerate(self.computation.iter_vars):
             self._var_targets[iv.var] = physical.compute.matching.targets_of(c)
@@ -188,7 +191,7 @@ class MappedExecutor:
         access = self._software_accesses[operand_index]
         source = feeds[access.tensor.name]
         index_arrays = []
-        for affine in self._affine_cache[id(access)]:
+        for affine in self._affine_cache[operand_index]:
             idx = np.full(tile_shape, affine.const, dtype=np.int64)
             for var in affine.variables():
                 coeff = affine.coefficient(var)
@@ -221,7 +224,7 @@ class MappedExecutor:
         values, valid = self._value_arrays(dst_dims, decoded, outer_env, tile_shape)
         access = self.computation.output
         index_arrays = []
-        for affine in self._affine_cache[id(access)]:
+        for affine in self._affine_cache[0]:
             idx = np.full(tile_shape, affine.const, dtype=np.int64)
             for var in affine.variables():
                 coeff = affine.coefficient(var)

@@ -164,21 +164,7 @@ def simulate_cycles(
     warp_slots = hw.max_warps_per_subcore * hw.subcores_per_core
     occupancy = min(1.0, (sched.warps_per_block * resident) / warp_slots)
 
-    # Cycle-component telemetry: how simulated time decomposes into the
-    # compute / global-memory / shared-memory pipelines across a run, and
-    # which pipeline bounded each kernel.  No-ops while obs is disabled.
-    _obs_metrics.counter("sim.runs").inc()
-    _obs_metrics.histogram("sim.compute_us").observe(compute_us)
-    _obs_metrics.histogram("sim.memory_us").observe(memory_us)
-    _obs_metrics.histogram("sim.shared_us").observe(shared_us)
-    _obs_metrics.histogram("sim.total_us").observe(total_us)
-    bound = max(
-        ("compute", compute_us), ("memory", memory_us), ("shared", shared_us),
-        key=lambda pair: pair[1],
-    )[0]
-    _obs_metrics.counter(f"sim.bound.{bound}").inc()
-
-    return TimingBreakdown(
+    breakdown = TimingBreakdown(
         total_us=total_us,
         compute_us=compute_us,
         memory_us=memory_us,
@@ -188,6 +174,18 @@ def simulate_cycles(
         occupancy=occupancy,
         jitter=jitter_factor,
     )
+
+    # Cycle-component telemetry: how simulated time decomposes into the
+    # compute / global-memory / shared-memory pipelines across a run, and
+    # which pipeline bounded each kernel.  No-ops while obs is disabled.
+    _obs_metrics.counter("sim.runs").inc()
+    _obs_metrics.histogram("sim.compute_us").observe(compute_us)
+    _obs_metrics.histogram("sim.memory_us").observe(memory_us)
+    _obs_metrics.histogram("sim.shared_us").observe(shared_us)
+    _obs_metrics.histogram("sim.total_us").observe(total_us)
+    _obs_metrics.counter(f"sim.bound.{breakdown.bound}").inc()
+
+    return breakdown
 
 
 def simulate_scalar_fallback(

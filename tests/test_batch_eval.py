@@ -1,0 +1,293 @@
+"""Batch evaluation path: bit-identical to the scalar oracle.
+
+The vectorized evaluators (``MappingFeatures`` + ``batch_predict`` /
+``batch_simulate``) are pure performance work: they must return the
+*same bits* as ``predict_latency`` / ``simulate_cycles`` for every
+candidate — not approximately equal, equal.  These tests enforce that
+contract with ``==`` across every registered target (shared-memory and
+direct-register intrinsics), on infeasible zero-residency schedules,
+through the :class:`EvaluationEngine` front door, through a full tune
+run, and property-based over randomly constructed schedules.
+"""
+
+import functools
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    EvaluationEngine,
+    MemoCache,
+    reset_compile_caches,
+    reset_global_memo,
+)
+from repro.explore.tuner import Tuner, TunerConfig
+from repro.frontends.operators import make_operator
+from repro.isa.registry import intrinsics_for_target
+from repro.mapping.generation import GenerationOptions, enumerate_mappings
+from repro.mapping.physical import lower_to_physical
+from repro.model.batch_model import batch_predict
+from repro.model.hardware_params import get_hardware
+from repro.model.perf_model import predict_latency
+from repro.schedule.features import MappingFeatures, derive_batch, encode_schedules
+from repro.schedule.lowering import lower_schedule
+from repro.schedule.schedule import DimSplit, Schedule
+from repro.schedule.space import ScheduleSpace, default_schedule
+from repro.sim.batch_timing import batch_simulate
+from repro.sim.timing import simulate_cycles
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    reset_global_memo()
+    reset_compile_caches()
+    yield
+    reset_global_memo()
+    reset_compile_caches()
+
+
+#: One operator per registered device, so every intrinsic kind is
+#: exercised: wmma (shared staging), AVX-512 / Mali dot / vaxpy / vgemv
+#: (direct register loads) and vconv (shared staging on an accelerator).
+CASES = [
+    ("v100", "GMM", dict(m=64, n=64, k=64)),
+    ("a100", "GMM", dict(m=128, n=64, k=64)),
+    ("xeon_4110", "GMM", dict(m=32, n=32, k=32)),
+    ("mali_g76", "GMM", dict(m=32, n=32, k=32)),
+    ("axpy_accel", "C3D", dict(n=1, c=4, k=4, d=4, h=6, w=6, t=2, r=2, s=2)),
+    ("gemv_accel", "GMV", dict(m=64, k=64)),
+    ("conv_accel", "C3D", dict(n=1, c=4, k=4, d=4, h=6, w=6, t=2, r=2, s=2)),
+]
+
+
+def _mappings_for(hw, comp, limit=3):
+    physical = [
+        lower_to_physical(m)
+        for intr in intrinsics_for_target(hw.target)
+        for m in enumerate_mappings(comp, intr, GenerationOptions())
+    ]
+    assert physical, f"no mappings of {comp.name} on {hw.target}"
+    return physical[:limit]
+
+
+def _random_schedules(pm, hw, rng, count):
+    space = ScheduleSpace(
+        pm,
+        max_warps_per_block=hw.max_warps_per_subcore * hw.subcores_per_core,
+    )
+    return [default_schedule(pm)] + [space.sample(rng) for _ in range(count)]
+
+
+def _assert_rows_match(pm, schedules, feats, batch, bp, bt, hw, jitter=True):
+    """Exact-equality comparison of every batch row against the scalar
+    oracle (``inf == inf`` holds, so infeasible rows compare too)."""
+    for i, schedule in enumerate(schedules):
+        sm = lower_schedule(pm, schedule)
+        p = predict_latency(sm, hw)
+        t = simulate_cycles(sm, hw, jitter=jitter)
+        context = f"{hw.name} {pm.intrinsic.name} row {i}: {schedule.describe()}"
+        assert bp.total_us[i] == p.total_us, context
+        assert bp.level0_us[i] == p.level0_us, context
+        assert bp.level1_us[i] == p.level1_us, context
+        assert bp.level2_us[i] == p.level2_us, context
+        assert bp.read_us[i] == p.read_us, context
+        assert bp.write_us[i] == p.write_us, context
+        assert bt.total_us[i] == t.total_us, context
+        assert bt.compute_us[i] == t.compute_us, context
+        assert bt.memory_us[i] == t.memory_us, context
+        assert bt.shared_us[i] == t.shared_us, context
+        assert bt.waves[i] == t.waves, context
+        assert bt.resident_blocks_per_core[i] == t.resident_blocks_per_core, context
+        assert bt.occupancy[i] == t.occupancy, context
+        assert bt.jitter[i] == t.jitter, context
+
+
+class TestBatchScalarEquivalence:
+    @pytest.mark.parametrize("hw_name,op,params", CASES)
+    def test_bit_identical_on_random_schedules(self, hw_name, op, params):
+        hw = get_hardware(hw_name)
+        comp = make_operator(op, **params)
+        rng = random.Random(hash(hw_name) & 0xFFFF)
+        for pm in _mappings_for(hw, comp):
+            schedules = _random_schedules(pm, hw, rng, count=25)
+            feats = MappingFeatures.from_physical(pm)
+            batch = encode_schedules(feats, schedules)
+            q = derive_batch(feats, batch)
+            bp = batch_predict(feats, batch, hw, quantities=q)
+            bt = batch_simulate(feats, batch, hw, quantities=q)
+            _assert_rows_match(pm, schedules, feats, batch, bp, bt, hw)
+
+    def test_jitter_disabled_matches_too(self):
+        hw = get_hardware("v100")
+        comp = make_operator("GMM", m=64, n=64, k=64)
+        pm = _mappings_for(hw, comp, limit=1)[0]
+        schedules = _random_schedules(pm, hw, random.Random(7), count=10)
+        feats = MappingFeatures.from_physical(pm)
+        batch = encode_schedules(feats, schedules)
+        bp = batch_predict(feats, batch, hw)
+        bt = batch_simulate(feats, batch, hw, jitter=False)
+        _assert_rows_match(pm, schedules, feats, batch, bp, bt, hw, jitter=False)
+        assert (bt.jitter == 1.0).all()
+
+    def test_zero_residency_schedules(self):
+        """A device whose shared buffer fits no block: the scalar path
+        reports every shared-staging candidate infinitely slow, and the
+        batch path must agree bit for bit (and not divide by zero)."""
+        hw = get_hardware("v100").with_overrides(shared_capacity_bytes=1)
+        comp = make_operator("GMM", m=64, n=64, k=64)
+        pm = _mappings_for(hw, comp, limit=1)[0]
+        schedules = _random_schedules(pm, hw, random.Random(3), count=12)
+        feats = MappingFeatures.from_physical(pm)
+        assert feats.uses_shared
+        batch = encode_schedules(feats, schedules)
+        bp = batch_predict(feats, batch, hw)
+        bt = batch_simulate(feats, batch, hw)
+        assert np.isinf(bt.total_us).all()
+        assert (bt.waves == 0).all()
+        assert (bt.occupancy == 0.0).all()
+        assert (bt.jitter == 1.0).all()
+        _assert_rows_match(pm, schedules, feats, batch, bp, bt, hw)
+
+    def test_describe_strings_drive_jitter(self):
+        """Two schedules that lower identically but describe differently
+        (an explicit unit split) must jitter differently — the batch
+        encoding carries the describe string for exactly this reason."""
+        hw = get_hardware("v100")
+        comp = make_operator("GMM", m=64, n=64, k=64)
+        pm = _mappings_for(hw, comp, limit=1)[0]
+        feats = MappingFeatures.from_physical(pm)
+        bare = Schedule()
+        explicit = Schedule(splits={feats.spatial_names[0]: DimSplit(1, 1)})
+        schedules = [bare, explicit]
+        batch = encode_schedules(feats, schedules)
+        assert np.array_equal(batch.warp[0], batch.warp[1])
+        bt = batch_simulate(feats, batch, hw)
+        _assert_rows_match(
+            pm, schedules, feats, batch, batch_predict(feats, batch, hw), bt, hw
+        )
+
+
+class TestEngineVectorized:
+    def _context(self):
+        hw = get_hardware("v100")
+        comp = make_operator("GMM", m=64, n=64, k=64)
+        physical = _mappings_for(hw, comp, limit=3)
+        rng = random.Random(11)
+        items = []
+        for mi, pm in enumerate(physical):
+            items += [(mi, s) for s in _random_schedules(pm, hw, rng, count=15)]
+        rng.shuffle(items)
+        return hw, comp, physical, items
+
+    def test_vectorized_engine_matches_scalar_engine(self):
+        hw, comp, physical, items = self._context()
+        with EvaluationEngine(
+            comp, physical, hw, n_workers=1, memo=MemoCache(), vectorized=True
+        ) as fast:
+            vec = fast.measure_many(items)
+        with EvaluationEngine(
+            comp, physical, hw, n_workers=1, memo=MemoCache(), vectorized=False
+        ) as slow:
+            scalar = slow.measure_many(items)
+        assert vec == scalar
+
+    def test_vectorized_predictions_match(self):
+        hw, comp, physical, items = self._context()
+        with EvaluationEngine(
+            comp, physical, hw, n_workers=1, memo=MemoCache(), vectorized=True
+        ) as fast:
+            vec = fast.predict_many(items)
+        with EvaluationEngine(
+            comp, physical, hw, n_workers=1, memo=MemoCache(), vectorized=False
+        ) as slow:
+            scalar = slow.predict_many(items)
+        assert vec == scalar
+
+    def test_results_are_plain_floats(self):
+        """Memoized values must stay JSON-serialisable Python floats, not
+        numpy scalars, for the persistent compile cache."""
+        hw, comp, physical, items = self._context()
+        with EvaluationEngine(
+            comp, physical, hw, n_workers=1, memo=MemoCache(), vectorized=True
+        ) as engine:
+            for predicted, measured in engine.measure_many(items[:8]):
+                assert type(predicted) is float
+                assert type(measured) is float
+
+
+class TestTunerVectorized:
+    def test_vectorized_flag_never_changes_the_answer(self):
+        comp = make_operator("GMM", m=64, n=64, k=64)
+        config = dict(
+            population=8,
+            generations=2,
+            measure_top=8,
+            refine_rounds=1,
+            refine_neighbors=4,
+            n_workers=1,
+        )
+
+        def fingerprint(result):
+            return [
+                (
+                    t.mapping_index,
+                    t.predicted_us,
+                    t.measured_us,
+                    t.scheduled.schedule.describe(),
+                )
+                for t in result.trials
+            ]
+
+        reset_global_memo()
+        fast = Tuner(
+            get_hardware("v100"), TunerConfig(vectorized=True, **config)
+        ).tune(comp)
+        reset_global_memo()
+        slow = Tuner(
+            get_hardware("v100"), TunerConfig(vectorized=False, **config)
+        ).tune(comp)
+        assert fast.best_us == slow.best_us
+        assert fingerprint(fast) == fingerprint(slow)
+
+
+@functools.lru_cache(maxsize=None)
+def _property_context():
+    hw = get_hardware("v100")
+    comp = make_operator("GMM", m=64, n=64, k=64)
+    pm = _mappings_for(hw, comp, limit=1)[0]
+    return hw, pm, MappingFeatures.from_physical(pm)
+
+
+class TestPropertyBitIdentical:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_any_schedule_is_bit_identical(self, data):
+        """Hypothesis-constructed schedules — including degenerate unit
+        splits, oversized factors, vectorize widths off the sampled grid
+        — produce bit-identical total_us / predicted values."""
+        hw, pm, feats = _property_context()
+        splits = {}
+        for name in feats.spatial_names:
+            if data.draw(st.booleans(), label=f"split:{name}"):
+                splits[name] = DimSplit(
+                    warp=data.draw(st.integers(1, 8), label=f"warp:{name}"),
+                    seq=data.draw(st.integers(1, 8), label=f"seq:{name}"),
+                )
+        schedule = Schedule(
+            splits=splits,
+            reduce_stage=data.draw(st.integers(1, 8), label="reduce_stage"),
+            double_buffer=data.draw(st.booleans(), label="double_buffer"),
+            unroll=data.draw(st.sampled_from([1, 2, 4]), label="unroll"),
+            vectorize=data.draw(st.sampled_from([1, 2, 3, 4, 8, 16]), label="vec"),
+        )
+        batch = encode_schedules(feats, [schedule])
+        sm = lower_schedule(pm, schedule)
+        predicted = predict_latency(sm, hw)
+        timing = simulate_cycles(sm, hw)
+        bp = batch_predict(feats, batch, hw)
+        bt = batch_simulate(feats, batch, hw)
+        assert bp.total_us[0] == predicted.total_us
+        assert bt.total_us[0] == timing.total_us
