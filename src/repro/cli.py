@@ -11,11 +11,21 @@ Subcommands:
   performance.
 * ``network NAME --hardware HW [--batch N] [--baseline pytorch]`` —
   end-to-end network evaluation, optionally against a baseline.
-* ``profile OP --hardware HW [--params k=v ...] [--out trace.jsonl]`` —
-  compile with observability enabled; writes a JSONL trace and prints the
-  human-readable report (span timings, mapping funnel, GA convergence,
-  model-vs-simulator rank accuracy).
+* ``profile OP --hardware HW [--params k=v ...] [--out trace.jsonl]
+  [--chrome-trace trace.json]`` — compile with observability enabled;
+  writes a JSONL trace (and optionally a Chrome/Perfetto timeline with
+  per-worker lanes) and prints the human-readable report (span timings,
+  mapping funnel, GA convergence, model-vs-simulator rank accuracy).
 * ``report TRACE`` — re-render the report of a saved JSONL trace.
+* ``report --compare BASELINE CURRENT`` — diff two flight-recorder run
+  sets (directories of ``run_*.json`` manifests written via
+  ``--run-dir``); exits non-zero when latency / throughput / model
+  accuracy drift beyond thresholds — the CI regression gate.
+
+Every tuning entry point accepts ``--run-dir`` (write a RunRecord
+manifest per compile), ``--divergence-rate`` (sample vectorized engine
+results back through the scalar oracle) and ``--quick`` (small fixed CI
+budget).
 """
 
 from __future__ import annotations
@@ -97,12 +107,30 @@ def _cmd_mappings(args) -> int:
     return 0
 
 
+#: The ``--quick`` exploration budget: small enough for CI smoke runs,
+#: large enough to exercise every pipeline stage.  The CI baseline
+#: manifest under ``benchmarks/baselines/`` is generated with exactly
+#: this budget, so its tuner-config fingerprint matches ``--quick`` runs.
+QUICK_BUDGET = dict(
+    population=8,
+    generations=3,
+    measure_top=8,
+    prefilter_mappings=8,
+    refine_rounds=1,
+    refine_neighbors=4,
+)
+
+
 def _tuner_config(args) -> TunerConfig:
     """TunerConfig from the shared tuning flags (seed/workers/cache dir)."""
+    budget = QUICK_BUDGET if args.quick else {}
     return TunerConfig(
         seed=args.seed,
         n_workers=args.workers,
         cache_dir=args.cache_dir,
+        run_dir=args.run_dir,
+        divergence_rate=args.divergence_rate,
+        **budget,
     )
 
 
@@ -185,12 +213,39 @@ def _cmd_profile(args) -> int:
     )
     print(obs.render_report(obs.load_jsonl(path)))
     print(f"\ntrace written to {path} ({wall_s:.2f}s wall)")
+    if args.chrome_trace:
+        chrome = obs.export_chrome_trace(args.chrome_trace)
+        print(f"chrome trace written to {chrome} (open in ui.perfetto.dev)")
     return 0
 
 
 def _cmd_report(args) -> int:
+    if args.compare:
+        return _compare_runs(args)
+    if not args.trace:
+        args.parser.error("either a TRACE path or --compare is required")
     print(obs.render_report(obs.load_jsonl(args.trace)))
     return 0
+
+
+def _compare_runs(args) -> int:
+    """Diff two run sets; non-zero exit on regressions (the CI gate)."""
+    baseline_path, current_path = args.compare
+    baseline = obs.load_runs(baseline_path)
+    current = obs.load_runs(current_path)
+    if not baseline:
+        args.parser.error(f"no runs loaded from baseline {baseline_path!r}")
+    if not current:
+        args.parser.error(f"no runs loaded from current {current_path!r}")
+    thresholds = obs.CompareThresholds(
+        max_latency_increase=args.max_latency_increase,
+        max_throughput_drop=args.max_throughput_drop,
+        max_accuracy_drop=args.max_accuracy_drop,
+        ignore=tuple(args.ignore),
+    )
+    report = obs.compare_runs(baseline, current, thresholds)
+    print(obs.render_comparison(report))
+    return 1 if report["regressions"] else 0
 
 
 def _add_tuning_flags(p: argparse.ArgumentParser) -> None:
@@ -210,6 +265,26 @@ def _add_tuning_flags(p: argparse.ArgumentParser) -> None:
         metavar="DIR",
         help="persistent compile cache directory; repeated compiles of "
         "identical kernels skip re-tuning",
+    )
+    p.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="flight-recorder directory; every compile/tune writes a "
+        "RunRecord manifest there (see `repro report --compare`)",
+    )
+    p.add_argument(
+        "--divergence-rate",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="fraction of vectorized engine evaluations re-checked "
+        "against the scalar oracle (0 disables the watchdog)",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="small fixed exploration budget for smoke/CI runs",
     )
 
 
@@ -255,10 +330,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         help="trace output path (default profile_<op>_<hw>.jsonl in the cwd)",
     )
+    p.add_argument(
+        "--chrome-trace",
+        metavar="PATH",
+        help="also export the merged span timeline (worker lanes included) "
+        "as a Chrome/Perfetto trace JSON",
+    )
     p.set_defaults(func=_cmd_profile, parser=p)
 
-    p = sub.add_parser("report", help="render the report of a saved JSONL trace")
-    p.add_argument("trace", help="path to a trace written by `repro profile`")
+    p = sub.add_parser(
+        "report",
+        help="render a saved JSONL trace, or diff flight-recorder runs "
+        "with --compare",
+    )
+    p.add_argument(
+        "trace",
+        nargs="?",
+        help="path to a trace written by `repro profile`",
+    )
+    p.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("BASELINE", "CURRENT"),
+        help="compare two run directories (or single manifests) written "
+        "by the flight recorder; exits 1 when drift exceeds thresholds",
+    )
+    p.add_argument(
+        "--max-latency-increase",
+        type=float,
+        default=0.20,
+        metavar="FRAC",
+        help="allowed simulated-latency increase vs baseline (default 0.20)",
+    )
+    p.add_argument(
+        "--max-throughput-drop",
+        type=float,
+        default=0.50,
+        metavar="FRAC",
+        help="allowed candidates/sec drop vs baseline (default 0.50)",
+    )
+    p.add_argument(
+        "--max-accuracy-drop",
+        type=float,
+        default=0.05,
+        metavar="ABS",
+        help="allowed absolute pairwise-rank-accuracy drop (default 0.05)",
+    )
+    p.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        choices=["latency", "throughput", "accuracy"],
+        help="skip a comparison metric (repeatable); CI ignores "
+        "throughput because wall-clock rates are machine-dependent",
+    )
     p.set_defaults(func=_cmd_report, parser=p)
 
     p = sub.add_parser("network", help="evaluate a network end to end")

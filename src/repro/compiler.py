@@ -35,6 +35,7 @@ from repro.mapping.physical import lower_to_physical
 from repro.model.hardware_params import HardwareParams, get_hardware
 from repro.obs import metrics as _obs_metrics
 from repro.obs.explore_log import ExploreLog, current_log, use_log
+from repro.obs.runlog import FlightRecorder, active_recorder
 from repro.obs.trace import span as _obs_span
 from repro.obs.trace import tracing_enabled as _obs_enabled
 from repro.schedule.lowering import ScheduledMapping, lower_schedule
@@ -80,9 +81,43 @@ def amos_compile(
     element-wise operators on a matmul-only target), matching AMOS's
     behaviour of leaving inherently unsupported operators on the general-
     purpose units.
+
+    When ``TunerConfig.run_dir`` is set, the compile writes a
+    :class:`~repro.obs.runlog.RunRecord` manifest there.  The recorder
+    spans the *whole* pipeline — enumeration, exploration, codegen and
+    the compile cache — and the inner ``Tuner.tune`` sees it as active,
+    so one compile produces exactly one manifest.
     """
     hw = get_hardware(hardware) if isinstance(hardware, str) else hardware
+    if config is not None and config.run_dir and active_recorder() is None:
+        fingerprints = {
+            "computation": computation_fingerprint(comp),
+            "hardware": hardware_fingerprint(hw),
+            "tuner_config": tuner_config_fingerprint(config),
+        }
+        with FlightRecorder(
+            config.run_dir, "compile", comp.name, hw.name, config, fingerprints
+        ) as recorder:
+            kernel = _compile_logged(comp, hw, config, emit_source)
+            outcome: dict[str, Any] = {
+                "latency_us": kernel.latency_us,
+                "used_intrinsics": kernel.used_intrinsics,
+                "num_mappings": kernel.num_mappings,
+            }
+            if kernel.scheduled is not None:
+                outcome["mapping"] = kernel.scheduled.physical.compute.describe()
+                outcome["schedule"] = kernel.scheduled.schedule.describe()
+            recorder.set_outcome(**outcome)
+        return kernel
+    return _compile_logged(comp, hw, config, emit_source)
 
+
+def _compile_logged(
+    comp: ReduceComputation,
+    hw: HardwareParams,
+    config: TunerConfig | None,
+    emit_source: bool,
+) -> CompiledKernel:
     # When observability is on and the caller did not bind an ExploreLog,
     # open one for the whole compile so the enumeration stage (which runs
     # before Tuner.tune) lands in the same funnel as the exploration.

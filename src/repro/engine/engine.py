@@ -31,13 +31,21 @@ runs all produce byte-identical results.
 Observability: every batch opens an ``engine.batch`` span and feeds the
 ``engine.cache.{hit,miss}`` and ``engine.pool.{tasks,batches}`` counters
 (no-ops while obs is disabled), which is how the benchmarks prove cache
-hit rates and pool utilisation.
+hit rates and pool utilisation.  Worker-side spans and counters are
+shipped home and merged by the pool (see :mod:`repro.engine.pool`), so
+pooled evaluation appears in the same trace under per-worker lanes.  A
+sampled *divergence watchdog* (``divergence_rate > 0``) re-runs a
+deterministic fraction of vectorized evaluations through the scalar
+oracle and records parity as ``engine.divergence.*`` — the bit-identity
+contract as a continuously monitored invariant rather than a test-time
+claim.
 """
 
 from __future__ import annotations
 
 import math
 import os
+import zlib
 from typing import Sequence
 
 from repro.engine.cache import MemoCache, global_memo
@@ -90,13 +98,22 @@ class EvaluationEngine:
         memo: MemoCache | None = None,
         min_pool_batch: int = DEFAULT_MIN_POOL_BATCH,
         vectorized: bool = True,
+        divergence_rate: float = 0.0,
     ):
+        if not 0.0 <= divergence_rate <= 1.0:
+            raise ValueError(
+                f"divergence_rate must be in [0, 1], got {divergence_rate}"
+            )
         self.comp = comp
         self.physical = list(physical)
         self.hardware = hardware
         self.n_workers = resolve_workers(n_workers)
         self.min_pool_batch = min_pool_batch
         self.vectorized = vectorized
+        self.divergence_rate = divergence_rate
+        #: Running watchdog tally (see :meth:`_watchdog`), readable even
+        #: when obs is off.
+        self.divergence_stats = {"checked": 0, "mismatched": 0}
         self.memo = memo if memo is not None else global_memo()
         self.comp_fp = computation_fingerprint(comp)
         self.hw_fp = hardware_fingerprint(hardware)
@@ -188,6 +205,9 @@ class EvaluationEngine:
                     for pos in miss_positions
                 ]
 
+        if self.vectorized and self.divergence_rate > 0.0 and miss_positions:
+            self._watchdog(miss_positions, items, keys, results, measure)
+
         for pos, (predicted, measured) in zip(miss_positions, results):
             key = keys[pos]
             predictions[pos] = predicted
@@ -199,6 +219,51 @@ class EvaluationEngine:
             predictions[pos] = predictions[src]
             measurements[pos] = measurements[src]
         return list(zip(predictions, measurements))
+
+    def _watchdog(
+        self,
+        miss_positions: list[int],
+        items: Sequence[tuple[int, Schedule]],
+        keys: list[str],
+        results: list[tuple[float, float | None]],
+        measure: bool,
+    ) -> None:
+        """Divergence watchdog: re-run a sampled fraction of batch-path
+        evaluations through the scalar oracle and record parity.
+
+        The vectorized evaluators are *claimed* bit-identical to the
+        scalar ones; this turns that claim into a continuously monitored
+        invariant.  Sampling is deterministic per candidate (a CRC of the
+        canonical key against ``divergence_rate``), never drawn from an
+        RNG, so the watchdog cannot perturb exploration and the same
+        candidates are checked on every run.  Parity lands in the
+        ``engine.divergence.{checked,mismatched}`` counters (and the
+        engine's ``divergence_stats`` tally, readable with obs off); a
+        mismatch is recorded, not raised — the batch results stand, the
+        flight recorder flags the broken invariant.
+        """
+        threshold = int(self.divergence_rate * 0x100000000)
+        checked = 0
+        mismatched = 0
+        for pos, result in zip(miss_positions, results):
+            if zlib.crc32(keys[pos].encode()) >= threshold:
+                continue
+            checked += 1
+            oracle = self._inline_evaluate(items[pos], measure)
+            if oracle != result:
+                mismatched += 1
+                with _obs_span(
+                    "engine.divergence.mismatch",
+                    key=keys[pos],
+                    batch=list(result),
+                    oracle=list(oracle),
+                ):
+                    pass
+        self.divergence_stats["checked"] += checked
+        self.divergence_stats["mismatched"] += mismatched
+        _obs_metrics.counter("engine.divergence.checked").inc(checked)
+        if mismatched:
+            _obs_metrics.counter("engine.divergence.mismatched").inc(mismatched)
 
     def _inline_evaluate(
         self, item: tuple[int, Schedule], measure: bool

@@ -21,8 +21,9 @@ evaluation results:
 * a mapping fingerprint covers the intrinsic, the matching matrix and the
   physical axis splits, bound to the computation's fingerprint;
 * a tuner-config fingerprint covers the exploration *budget* only —
-  execution knobs (``n_workers``, ``cache_dir``) are excluded because
-  they cannot change what the tuner returns, only how fast.
+  execution knobs (``n_workers``, ``cache_dir``, ``run_dir``,
+  ``divergence_rate``) are excluded because they cannot change what the
+  tuner returns, only how fast (or how observed) it runs.
 """
 
 from __future__ import annotations

@@ -23,19 +23,38 @@ batches positionally and gets byte-identical results for any worker
 count (all evaluators are themselves deterministic functions of the
 candidate, and the batch evaluators are bit-identical to the scalar
 ones).
+
+**Observability crosses the process boundary.**  When the parent has obs
+enabled at pool creation, workers enable their own local tracer/metrics
+registry and every task returns an *obs payload* next to its result:
+the task's span tree (:meth:`Span.to_payload` dicts) and the worker
+registry's counter/histogram *deltas* for exactly that task (via the
+atomic ``snapshot()``/``diff()`` pair, so a retried or re-reported task
+can never double-count).  The parent merges payloads as results arrive:
+spans are re-identified into the parent tracer, re-parented under the
+caller's live span, tagged with a per-worker *lane* (assigned in pid
+order of first appearance) and shifted onto the parent's clock via the
+wall/perf clock-offset pairing; metric deltas fold into the parent
+registry.  Worker activity therefore shows up in one merged trace with
+correct parent spans, and counter totals are identical for any worker
+count.  When obs is disabled nothing is captured and the task payload
+shape is unchanged — the disabled path costs one global check.
 """
 
 from __future__ import annotations
 
 import math
 import multiprocessing
+import os
 import pickle
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.mapping.physical import PhysicalMapping
 from repro.model.batch_model import batch_predict
 from repro.model.hardware_params import HardwareParams
 from repro.model.perf_model import predict_latency
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
 from repro.schedule.features import MappingFeatures, ScheduleBatch, derive_batch
 from repro.schedule.lowering import lower_schedule
 from repro.schedule.schedule import Schedule
@@ -54,45 +73,93 @@ _CONTEXT: tuple[list[PhysicalMapping], HardwareParams] | None = None
 _FEATURES: dict[int, MappingFeatures] = {}
 
 
-def _init_worker(payload: bytes) -> None:
+def _init_worker(payload: bytes, obs_enabled: bool) -> None:
     global _CONTEXT
     _CONTEXT = pickle.loads(payload)
     _FEATURES.clear()
+    if obs_enabled:
+        _obs_trace.enable_tracing()
 
 
-def _eval_item(item: tuple[int, dict, bool]) -> tuple[float, float | None]:
-    """Evaluate one candidate in a worker: (predicted_us, measured_us?)."""
+def _context() -> tuple[list[PhysicalMapping], HardwareParams]:
     if _CONTEXT is None:
         raise RuntimeError("worker used before its context was initialised")
+    return _CONTEXT
+
+
+#: (pid, clock_offset_s, span payloads, metric deltas) — one per task
+#: when obs is on in the worker, else None.
+ObsPayload = tuple[int, float, list[dict], list[dict]]
+
+
+def _capture(fn, item) -> tuple[Any, ObsPayload | None]:
+    """Run one task, capturing its spans and metric deltas when obs is on."""
+    if not _obs_trace.tracing_enabled():
+        return fn(item), None
+    tracer = _obs_trace.get_tracer()
+    registry = _obs_metrics.get_registry()
+    tracer.drain()  # anything left over belongs to no task
+    base = registry.snapshot()
+    result = fn(item)
+    payload = (
+        os.getpid(),
+        _obs_trace.clock_offset_s(),
+        [s.to_payload() for s in tracer.drain()],
+        registry.diff(base),
+    )
+    return result, payload
+
+
+def _eval_item(
+    item: tuple[int, dict, bool]
+) -> tuple[tuple[float, float | None], ObsPayload | None]:
+    """Evaluate one candidate in a worker: (predicted_us, measured_us?)."""
+    return _capture(_eval_item_impl, item)
+
+
+def _eval_item_impl(item: tuple[int, dict, bool]) -> tuple[float, float | None]:
     mapping_index, schedule_dict, measure = item
-    physical, hw = _CONTEXT
-    sched = lower_schedule(physical[mapping_index], Schedule.from_dict(schedule_dict))
-    predicted = predict_latency(sched, hw).total_us
-    measured = simulate_cycles(sched, hw).total_us if measure else None
+    physical, hw = _context()
+    with _obs_trace.span("worker.eval", mapping=mapping_index, measure=measure):
+        sched = lower_schedule(
+            physical[mapping_index], Schedule.from_dict(schedule_dict)
+        )
+        predicted = predict_latency(sched, hw).total_us
+        measured = simulate_cycles(sched, hw).total_us if measure else None
     return predicted, measured
 
 
 def _eval_group(
     item: tuple[int, ScheduleBatch, bool]
-) -> list[tuple[float, float | None]]:
+) -> tuple[list[tuple[float, float | None]], ObsPayload | None]:
     """Evaluate one mapping's schedule-batch chunk through the array path."""
-    if _CONTEXT is None:
-        raise RuntimeError("worker used before its context was initialised")
+    return _capture(_eval_group_impl, item)
+
+
+def _eval_group_impl(
+    item: tuple[int, ScheduleBatch, bool]
+) -> list[tuple[float, float | None]]:
     mapping_index, batch, measure = item
-    physical, hw = _CONTEXT
-    features = _FEATURES.get(mapping_index)
-    if features is None:
-        features = MappingFeatures.from_physical(physical[mapping_index])
-        _FEATURES[mapping_index] = features
-    quantities = derive_batch(features, batch)
-    prediction = batch_predict(features, batch, hw, quantities=quantities)
-    if not measure:
-        return [(float(p), None) for p in prediction.total_us]
-    timing = batch_simulate(features, batch, hw, quantities=quantities)
-    return [
-        (float(p), float(m))
-        for p, m in zip(prediction.total_us, timing.total_us)
-    ]
+    physical, hw = _context()
+    with _obs_trace.span(
+        "worker.eval_group",
+        mapping=mapping_index,
+        candidates=len(batch),
+        measure=measure,
+    ):
+        features = _FEATURES.get(mapping_index)
+        if features is None:
+            features = MappingFeatures.from_physical(physical[mapping_index])
+            _FEATURES[mapping_index] = features
+        quantities = derive_batch(features, batch)
+        prediction = batch_predict(features, batch, hw, quantities=quantities)
+        if not measure:
+            return [(float(p), None) for p in prediction.total_us]
+        timing = batch_simulate(features, batch, hw, quantities=quantities)
+        return [
+            (float(p), float(m))
+            for p, m in zip(prediction.total_us, timing.total_us)
+        ]
 
 
 class WorkerPool:
@@ -107,13 +174,49 @@ class WorkerPool:
         if n_workers < 2:
             raise ValueError("WorkerPool needs n_workers >= 2; use in-process execution")
         self.n_workers = n_workers
+        #: Obs state captured at creation: workers enable their local
+        #: tracer in the initializer, so toggling obs after the pool is
+        #: up does not retroactively change what workers collect.
+        self.obs_enabled = _obs_trace.tracing_enabled()
+        #: pid -> lane number, in order of first appearance (lane 0 is
+        #: the parent process; workers get 1..n).
+        self._lanes: dict[int, int] = {}
         payload = pickle.dumps(
             (list(physical), hardware), protocol=pickle.HIGHEST_PROTOCOL
         )
         self._pool = multiprocessing.get_context("spawn").Pool(
-            processes=n_workers, initializer=_init_worker, initargs=(payload,)
+            processes=n_workers,
+            initializer=_init_worker,
+            initargs=(payload, self.obs_enabled),
         )
 
+    # -- obs merge ------------------------------------------------------
+    def lane_of(self, pid: int) -> int:
+        lane = self._lanes.get(pid)
+        if lane is None:
+            lane = self._lanes[pid] = len(self._lanes) + 1
+        return lane
+
+    def _merge_payloads(self, payloads: Sequence[ObsPayload | None]) -> None:
+        """Adopt worker span trees and metric deltas into the parent's
+        tracer/registry, under the caller's live span."""
+        tracer = _obs_trace.get_tracer()
+        registry = _obs_metrics.get_registry()
+        parent_id = _obs_trace.current_span_id()
+        parent_offset = _obs_trace.clock_offset_s()
+        for payload in payloads:
+            if payload is None:
+                continue
+            pid, worker_offset, spans, deltas = payload
+            tracer.merge(
+                spans,
+                parent_id=parent_id,
+                lane=self.lane_of(pid),
+                shift_s=worker_offset - parent_offset,
+            )
+            registry.merge(deltas)
+
+    # -- evaluation -----------------------------------------------------
     def evaluate(
         self, items: Sequence[tuple[int, dict, bool]]
     ) -> list[tuple[float, float | None]]:
@@ -121,7 +224,10 @@ class WorkerPool:
         if not items:
             return []
         chunksize = max(1, math.ceil(len(items) / (self.n_workers * 4)))
-        return self._pool.map(_eval_item, items, chunksize=chunksize)
+        outcomes = self._pool.map(_eval_item, items, chunksize=chunksize)
+        if self.obs_enabled:
+            self._merge_payloads([payload for _, payload in outcomes])
+        return [result for result, _ in outcomes]
 
     def evaluate_groups(
         self, groups: Sequence[tuple[int, ScheduleBatch, bool]]
@@ -131,7 +237,10 @@ class WorkerPool:
         (the engine sizes them to the pool), so ``chunksize=1``."""
         if not groups:
             return []
-        return self._pool.map(_eval_group, groups, chunksize=1)
+        outcomes = self._pool.map(_eval_group, groups, chunksize=1)
+        if self.obs_enabled:
+            self._merge_payloads([payload for _, payload in outcomes])
+        return [result for result, _ in outcomes]
 
     def close(self) -> None:
         self._pool.close()

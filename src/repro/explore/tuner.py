@@ -24,6 +24,11 @@ import random
 from dataclasses import dataclass, field
 
 from repro.engine.engine import EvaluationEngine
+from repro.engine.fingerprint import (
+    computation_fingerprint,
+    hardware_fingerprint,
+    tuner_config_fingerprint,
+)
 from repro.explore.genetic import Candidate, GeneticConfig, genetic_search
 from repro.ir.compute import ReduceComputation
 from repro.isa.registry import intrinsics_for_target
@@ -32,6 +37,7 @@ from repro.mapping.physical import PhysicalMapping, lower_to_physical
 from repro.model.hardware_params import HardwareParams
 from repro.obs import metrics as _obs_metrics
 from repro.obs.explore_log import ExploreLog, current_log, use_log
+from repro.obs.runlog import FlightRecorder, active_recorder
 from repro.obs.trace import span as _obs_span
 from repro.obs.trace import tracing_enabled as _obs_enabled
 from repro.schedule.lowering import ScheduledMapping, lower_schedule
@@ -56,6 +62,13 @@ class TunerConfig:
     scalar evaluators); ``vectorized=False`` falls back to per-candidate
     scalar evaluation.  ``cache_dir`` opts into the persistent compile
     cache consulted by :func:`repro.compiler.amos_compile`.
+
+    ``run_dir`` / ``divergence_rate`` are flight-recorder knobs (also
+    execution-only, excluded from the budget fingerprint): ``run_dir``
+    makes every compile/tune write a :class:`~repro.obs.runlog.RunRecord`
+    manifest there; ``divergence_rate`` samples that fraction of the
+    engine's vectorized evaluations back through the scalar oracle and
+    records parity as ``engine.divergence.*`` metrics.
     """
 
     population: int = 32
@@ -70,6 +83,8 @@ class TunerConfig:
     min_pool_batch: int = 16
     vectorized: bool = True
     cache_dir: str | None = None
+    run_dir: str | None = None
+    divergence_rate: float = 0.0
 
 
 @dataclass
@@ -151,6 +166,7 @@ class Tuner:
             n_workers=self.config.n_workers,
             min_pool_batch=self.config.min_pool_batch,
             vectorized=self.config.vectorized,
+            divergence_rate=self.config.divergence_rate,
         )
 
     def _prefilter_indices(
@@ -195,7 +211,42 @@ class Tuner:
         ``use_log``, else a fresh one) and attached to the result.
         Telemetry never alters exploration: RNG streams, candidate order
         and measurements are identical with obs on or off.
+
+        When ``TunerConfig.run_dir`` is set (and no outer recorder — e.g.
+        a recorded ``amos_compile`` — is already active) the run also
+        writes a :class:`~repro.obs.runlog.RunRecord` manifest there.
         """
+        if self.config.run_dir and active_recorder() is None:
+            fingerprints = {
+                "computation": computation_fingerprint(comp),
+                "hardware": hardware_fingerprint(self.hardware),
+                "tuner_config": tuner_config_fingerprint(self.config),
+            }
+            with FlightRecorder(
+                self.config.run_dir,
+                "tune",
+                comp.name,
+                self.hardware.name,
+                self.config,
+                fingerprints,
+            ) as recorder:
+                result = self._tune_logged(comp, mappings)
+                recorder.set_outcome(
+                    latency_us=result.best_us,
+                    used_intrinsics=True,
+                    num_mappings=result.num_mappings,
+                    num_trials=len(result.trials),
+                    mapping=result.best.physical.compute.describe(),
+                    schedule=result.best.schedule.describe(),
+                )
+            return result
+        return self._tune_logged(comp, mappings)
+
+    def _tune_logged(
+        self,
+        comp: ReduceComputation,
+        mappings: list[PhysicalMapping] | None = None,
+    ) -> ExplorationResult:
         log = current_log()
         if log is None and _obs_enabled():
             log = ExploreLog(operator=comp.name, hardware=self.hardware.name)

@@ -8,13 +8,20 @@ Three layers, all zero-dependency and near-free when disabled:
 * :mod:`repro.obs.explore_log` — per-tune-run telemetry: the mapping
   funnel, genetic-search convergence, and paired model/simulator samples
   (the signals behind the paper's Fig 5 and Table 6);
-* :mod:`repro.obs.export` — JSONL traces and human-readable reports.
+* :mod:`repro.obs.export` — JSONL traces and human-readable reports;
+* :mod:`repro.obs.runlog` — the flight recorder: per-run
+  :class:`RunRecord` manifests written by ``amos_compile``/``Tuner.tune``
+  (via ``TunerConfig.run_dir``) and the ``compare_runs`` regression
+  tracker behind ``python -m repro report --compare``;
+* :mod:`repro.obs.chrome_trace` — Chrome-trace/Perfetto export of the
+  merged span timeline, one lane per pool worker.
 
 Everything is off by default.  ``enable()`` flips one module-global
 switch; instrumented hot paths pay one global check when it is off, so
 compilation results are bit-identical with obs enabled or disabled.
 """
 
+from repro.obs.chrome_trace import chrome_trace_events, export_chrome_trace
 from repro.obs.explore_log import ExploreLog, FunnelCounts, current_log, use_log
 from repro.obs.export import export_jsonl, load_jsonl, render_report
 from repro.obs.metrics import (
@@ -27,10 +34,22 @@ from repro.obs.metrics import (
     get_registry,
     histogram,
 )
+from repro.obs.runlog import (
+    CompareThresholds,
+    FlightRecorder,
+    RunRecord,
+    active_recorder,
+    compare_runs,
+    load_runs,
+    render_comparison,
+    write_run,
+)
 from repro.obs.trace import (
     Span,
     Tracer,
     aggregate_spans,
+    clock_offset_s,
+    current_span_id,
     disable_tracing,
     enable_tracing,
     get_tracer,
@@ -41,32 +60,44 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "CompareThresholds",
     "Counter",
     "ExploreLog",
+    "FlightRecorder",
     "FunnelCounts",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RunRecord",
     "Span",
     "Tracer",
+    "active_recorder",
     "aggregate_spans",
+    "chrome_trace_events",
+    "clock_offset_s",
+    "compare_runs",
     "counter",
     "current_log",
+    "current_span_id",
     "disable",
     "enable",
     "enabled",
+    "export_chrome_trace",
     "export_jsonl",
     "gauge",
     "get_registry",
     "get_tracer",
     "histogram",
     "load_jsonl",
+    "load_runs",
+    "render_comparison",
     "render_report",
     "reset",
     "span",
     "traced",
     "tracing",
     "use_log",
+    "write_run",
 ]
 
 

@@ -207,6 +207,46 @@ def _model_quality_section(samples: Sequence[tuple[float, float]]) -> list[str]:
     return lines
 
 
+def _engine_section(metrics: Sequence[dict[str, Any]]) -> list[str]:
+    """Cache and pool behaviour digested from the engine's counters."""
+    counters = {
+        m["name"]: m["value"] for m in metrics if m.get("kind") == "counter"
+    }
+
+    def rate(hits: float, misses: float) -> str:
+        total = hits + misses
+        if not total:
+            return "n/a"
+        return f"{hits / total:.1%} ({int(hits)}/{int(total)})"
+
+    lines = []
+    memo_hits = counters.get("engine.cache.hit", 0.0)
+    memo_misses = counters.get("engine.cache.miss", 0.0)
+    if memo_hits or memo_misses:
+        lines.append(f"  memo cache hit rate:     {rate(memo_hits, memo_misses)}")
+    cc_hits = counters.get("engine.compile_cache.hit", 0.0)
+    cc_misses = counters.get("engine.compile_cache.miss", 0.0)
+    if cc_hits or cc_misses:
+        lines.append(f"  compile cache hit rate:  {rate(cc_hits, cc_misses)}")
+    tasks = counters.get("engine.pool.tasks", 0.0)
+    batches = counters.get("engine.pool.batches", 0.0)
+    if batches:
+        lines.append(
+            f"  pool batches:            {int(batches)} "
+            f"(mean {tasks / batches:.1f} tasks/batch)"
+        )
+    checked = counters.get("engine.divergence.checked", 0.0)
+    if checked:
+        mismatched = counters.get("engine.divergence.mismatched", 0.0)
+        lines.append(
+            f"  divergence watchdog:     {int(mismatched)} mismatch(es) "
+            f"in {int(checked)} sampled re-evaluations"
+        )
+    if not lines:
+        return ["  (no engine cache/pool activity recorded)"]
+    return lines
+
+
 def _metrics_section(metrics: Sequence[dict[str, Any]]) -> list[str]:
     if not metrics:
         return ["  (no metrics recorded)"]
@@ -247,6 +287,9 @@ def render_report(data: dict[str, Any]) -> str:
     lines.append("")
     lines.append("-- model vs simulator (Fig 5-style rank quality) --")
     lines.extend(_model_quality_section(data.get("samples", [])))
+    lines.append("")
+    lines.append("-- engine caches & pool --")
+    lines.extend(_engine_section(data.get("metrics", [])))
     lines.append("")
     lines.append("-- metrics --")
     lines.extend(_metrics_section(data.get("metrics", [])))

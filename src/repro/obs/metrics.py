@@ -52,7 +52,8 @@ class Counter:
         return self._value
 
     def to_dict(self) -> dict[str, Any]:
-        return {"kind": "counter", "name": self.name, "value": self._value}
+        with self._lock:
+            return {"kind": "counter", "name": self.name, "value": self._value}
 
 
 class Gauge:
@@ -78,7 +79,8 @@ class Gauge:
         return self._value
 
     def to_dict(self) -> dict[str, Any]:
-        return {"kind": "gauge", "name": self.name, "value": self._value}
+        with self._lock:
+            return {"kind": "gauge", "name": self.name, "value": self._value}
 
 
 #: Default histogram buckets: log-spaced microsecond latencies covering
@@ -155,19 +157,50 @@ class Histogram:
         return self._max
 
     def to_dict(self) -> dict[str, Any]:
+        """Atomic snapshot: one lock acquisition covers counts, sum and
+        extrema, so a concurrent ``observe`` can never tear the record
+        (e.g. a count that includes an observation whose sum does not)."""
+        bounds = [*self.buckets, float("inf")]
+        with self._lock:
+            count = self._count
+            total = self._sum
+            lo = self._min
+            hi = self._max
+            counts = list(self._counts)
         return {
             "kind": "histogram",
             "name": self.name,
-            "count": self._count,
-            "sum": self._sum,
-            "mean": self.mean,
-            "min": self._min if self._count else None,
-            "max": self._max if self._count else None,
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "min": lo if count else None,
+            "max": hi if count else None,
             "buckets": [
                 [bound if bound != float("inf") else "inf", n]
-                for bound, n in self.bucket_counts()
+                for bound, n in zip(bounds, counts)
             ],
         }
+
+    def merge_snapshot(self, delta: dict[str, Any]) -> None:
+        """Fold a snapshot/diff record from another registry into this
+        histogram (bucket layouts must match)."""
+        buckets = delta.get("buckets") or []
+        if len(buckets) != len(self._counts):
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge {len(buckets)} buckets "
+                f"into {len(self._counts)}"
+            )
+        with self._lock:
+            for i, (_, n) in enumerate(buckets):
+                self._counts[i] += n
+            self._sum += delta.get("sum", 0.0)
+            self._count += delta.get("count", 0)
+            lo = delta.get("min")
+            hi = delta.get("max")
+            if lo is not None and lo < self._min:
+                self._min = lo
+            if hi is not None and hi > self._max:
+                self._max = hi
 
 
 class _NullMetric:
@@ -223,9 +256,81 @@ class MetricsRegistry:
         return metric
 
     def snapshot(self) -> list[dict[str, Any]]:
+        """Point-in-time copy of every metric, sorted by name.
+
+        Each record is captured under its metric's own lock, so a record
+        is internally consistent even under concurrent updates, and the
+        result is a plain data structure safe to diff against later.
+        """
         with self._lock:
             metrics = list(self._metrics.values())
         return [m.to_dict() for m in sorted(metrics, key=lambda m: m.name)]
+
+    def diff(self, base: Sequence[dict[str, Any]]) -> list[dict[str, Any]]:
+        """What happened since ``base`` (an earlier :meth:`snapshot`).
+
+        Returns snapshot-shaped records holding period *deltas*: counter
+        values and histogram bucket counts / sums are subtracted, so a
+        delta can be merged into another registry exactly once per period
+        — shipping cumulative totals (which double-count when the same
+        worker reports twice, e.g. on a pool retry) is impossible by
+        construction.  Gauges are last-write-wins and carry their current
+        value; histogram min/max are the observed extrema (idempotent
+        under re-merge).  Metrics with no activity in the period are
+        omitted.
+        """
+        before = {record["name"]: record for record in base}
+        deltas: list[dict[str, Any]] = []
+        for record in self.snapshot():
+            prev = before.get(record["name"])
+            if record["kind"] == "counter":
+                value = record["value"] - (prev["value"] if prev else 0.0)
+                if value:
+                    deltas.append({**record, "value": value})
+            elif record["kind"] == "gauge":
+                if prev is None or record["value"] != prev["value"]:
+                    deltas.append(record)
+            else:  # histogram
+                prev_count = prev["count"] if prev else 0
+                count = record["count"] - prev_count
+                if not count:
+                    continue
+                prev_buckets = prev["buckets"] if prev else []
+                prev_by_bound = {bound: n for bound, n in prev_buckets}
+                buckets = [
+                    [bound, n - prev_by_bound.get(bound, 0)]
+                    for bound, n in record["buckets"]
+                ]
+                total = record["sum"] - (prev["sum"] if prev else 0.0)
+                deltas.append(
+                    {
+                        **record,
+                        "count": count,
+                        "sum": total,
+                        "mean": total / count,
+                        "buckets": buckets,
+                    }
+                )
+        return deltas
+
+    def merge(self, deltas: Sequence[dict[str, Any]]) -> None:
+        """Fold diff records from another registry (e.g. a pool worker)
+        into this one: counters add, gauges last-write-win, histograms
+        merge bucket-by-bucket."""
+        for record in deltas:
+            name = record["name"]
+            kind = record.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(record["value"])
+            elif kind == "gauge":
+                self.gauge(name).set(record["value"])
+            elif kind == "histogram":
+                bounds = tuple(
+                    float(b) for b, _ in record.get("buckets", []) if b != "inf"
+                )
+                self.histogram(name, bounds or DEFAULT_BUCKETS).merge_snapshot(record)
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
 
     def reset(self) -> None:
         with self._lock:

@@ -32,6 +32,8 @@ __all__ = [
     "Span",
     "Tracer",
     "aggregate_spans",
+    "clock_offset_s",
+    "current_span_id",
     "disable_tracing",
     "enable_tracing",
     "get_tracer",
@@ -69,7 +71,19 @@ class Span:
             "name": self.name,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "start_us": self.start_s * 1e6,
             "duration_us": self.duration_us,
+            "attrs": self.attrs,
+        }
+
+    def to_payload(self) -> dict[str, Any]:
+        """Picklable form for cross-process shipping (raw clock values)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
             "attrs": self.attrs,
         }
 
@@ -165,6 +179,66 @@ class Tracer:
         with self._lock:
             return list(self._spans)
 
+    def current_span_id(self) -> int | None:
+        """The innermost live span on this thread's stack, if any."""
+        stack = self._stack()
+        return stack[-1].span_id if stack else None
+
+    def drain(self) -> list[Span]:
+        """Return all completed spans and forget them (ids keep counting,
+        so later spans never collide with already-drained ones)."""
+        with self._lock:
+            drained = list(self._spans)
+            self._spans.clear()
+        return drained
+
+    def merge(
+        self,
+        payload: list[dict[str, Any]],
+        parent_id: int | None = None,
+        lane: int | None = None,
+        shift_s: float = 0.0,
+    ) -> list[Span]:
+        """Adopt foreign spans (e.g. shipped home from a pool worker).
+
+        Spans arrive as :meth:`Span.to_payload` dicts recorded against the
+        worker's own clock and id space.  They are re-identified into this
+        tracer's id space (so merges from many workers never collide),
+        roots of the payload are re-parented under ``parent_id`` (the
+        caller's live span, typically), every span is tagged with its
+        ``lane``, and start/end times are shifted by ``shift_s`` onto this
+        process's clock.  Returns the adopted spans.
+        """
+        if not payload:
+            return []
+        with self._lock:
+            id_map = {}
+            for d in payload:
+                id_map[d["span_id"]] = self._next_id
+                self._next_id += 1
+        adopted: list[Span] = []
+        for d in payload:
+            old_parent = d.get("parent_id")
+            attrs = dict(d.get("attrs") or {})
+            if lane is not None:
+                attrs["lane"] = lane
+            end_s = d.get("end_s")
+            adopted.append(
+                Span(
+                    name=d["name"],
+                    span_id=id_map[d["span_id"]],
+                    parent_id=(
+                        id_map[old_parent] if old_parent in id_map else parent_id
+                    ),
+                    start_s=d["start_s"] + shift_s,
+                    end_s=end_s + shift_s if end_s is not None else None,
+                    attrs=attrs,
+                )
+            )
+        with self._lock:
+            self._spans.extend(adopted)
+        return adopted
+
     def clear(self) -> None:
         with self._lock:
             self._spans.clear()
@@ -200,6 +274,23 @@ def tracing_enabled() -> bool:
 def get_tracer() -> Tracer:
     """The process-wide tracer instance."""
     return _tracer
+
+
+def current_span_id() -> int | None:
+    """Id of the innermost live span on the calling thread, or None."""
+    return _tracer.current_span_id()
+
+
+def clock_offset_s() -> float:
+    """This process's wall-clock minus perf-counter offset.
+
+    ``perf_counter`` has an unspecified per-process epoch, so spans
+    shipped across processes cannot be placed on the parent's timeline
+    directly.  Pairing it with ``time.time`` (a shared epoch) gives each
+    process a constant offset; the difference of two processes' offsets
+    is the shift that maps one perf-counter timeline onto the other's.
+    """
+    return time.time() - time.perf_counter()
 
 
 def span(name: str, **attrs: Any):

@@ -21,3 +21,6 @@ _spec.loader.exec_module(_bench)
 test_obs_disabled_overhead_under_5_percent = (
     _bench.test_obs_disabled_overhead_under_5_percent
 )
+test_obs_disabled_overhead_parallel_under_5_percent = (
+    _bench.test_obs_disabled_overhead_parallel_under_5_percent
+)
