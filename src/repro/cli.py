@@ -24,8 +24,9 @@ Subcommands:
 
 Every tuning entry point accepts ``--run-dir`` (write a RunRecord
 manifest per compile), ``--divergence-rate`` (sample vectorized engine
-results back through the scalar oracle) and ``--quick`` (small fixed CI
-budget).
+results back through the scalar oracle), ``--eval-timeout`` /
+``--max-retries`` (fault-tolerance deadlines and retry budget for the
+evaluation pool) and ``--quick`` (small fixed CI budget).
 """
 
 from __future__ import annotations
@@ -130,6 +131,8 @@ def _tuner_config(args) -> TunerConfig:
         cache_dir=args.cache_dir,
         run_dir=args.run_dir,
         divergence_rate=args.divergence_rate,
+        eval_timeout_s=args.eval_timeout,
+        max_retries=args.max_retries,
         **budget,
     )
 
@@ -280,6 +283,23 @@ def _add_tuning_flags(p: argparse.ArgumentParser) -> None:
         metavar="R",
         help="fraction of vectorized engine evaluations re-checked "
         "against the scalar oracle (0 disables the watchdog)",
+    )
+    p.add_argument(
+        "--eval-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-batch evaluation deadline in seconds; a batch that "
+        "exceeds it is retried on a fresh pool (default: no deadline — "
+        "dead workers are still detected and recovered)",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries per failing evaluation task before it is "
+        "quarantined and re-run inline (default: 2)",
     )
     p.add_argument(
         "--quick",

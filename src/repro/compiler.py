@@ -227,7 +227,11 @@ def _store_in_cache(
         entry["intrinsic"] = kernel.scheduled.physical.intrinsic.name
         entry["mapping_fp"] = mapping_fingerprint(kernel.scheduled.physical)
         entry["schedule"] = kernel.scheduled.schedule.to_dict()
-    cache.store(key, entry)
+    cache.store(
+        key,
+        entry,
+        torn_write=bool(config.fault_plan and config.fault_plan.corrupt_cache_writes),
+    )
 
 
 def _kernel_from_cache(

@@ -26,6 +26,8 @@ import os
 import threading
 from typing import Any
 
+from repro.obs import metrics as _obs_metrics
+
 __all__ = [
     "CACHE_VERSION",
     "CompileCache",
@@ -66,14 +68,19 @@ class MemoCache:
                     del table[oldest]
             table[key] = value
 
+    # Reads take the same lock as _put: the eviction loop deletes keys,
+    # and a lock-free reader could otherwise race it (dict mutation
+    # during lookup is only incidentally safe under the current GIL).
     def get_prediction(self, key: str) -> float | None:
-        return self.predictions.get(key)
+        with self._lock:
+            return self.predictions.get(key)
 
     def put_prediction(self, key: str, value: float) -> None:
         self._put(self.predictions, key, value)
 
     def get_measurement(self, key: str) -> float | None:
-        return self.measurements.get(key)
+        with self._lock:
+            return self.measurements.get(key)
 
     def put_measurement(self, key: str, value: float) -> None:
         self._put(self.measurements, key, value)
@@ -112,9 +119,18 @@ class CompileCache:
 
     The full file is loaded into a dict on first use; later entries for
     the same key win (so re-tuning after an invalidation simply appends).
-    Corrupt or wrong-version lines are skipped, not fatal.  Writes are
-    appends under a lock, safe for concurrent compiles in one process;
-    cross-process writers at worst duplicate work, never corrupt reads.
+    Corrupt or wrong-version lines are skipped, not fatal; the skip count
+    is kept in :attr:`skipped_lines` and reported on the
+    ``engine.compile_cache.skipped_lines`` counter so a decaying cache
+    file shows up in the flight recorder instead of silently shrinking.
+
+    Writes are crash-safe appends: each entry is one ``os.write`` of a
+    newline-terminated line on an ``O_APPEND`` descriptor, and when the
+    file ends without a newline (a previous writer died mid-append) the
+    next store prepends one — so a torn final line costs exactly that
+    one entry, never the next one glued onto it.  Appends are serialised
+    under a lock within the process; cross-process writers at worst
+    duplicate work, never corrupt reads.
     """
 
     FILENAME = "compile_cache.jsonl"
@@ -124,36 +140,73 @@ class CompileCache:
         self.path = os.path.join(cache_dir, self.FILENAME)
         self._lock = threading.Lock()
         self._entries: dict[str, dict[str, Any]] = {}
+        #: Lines the loader could not use (torn, corrupt, wrong version,
+        #: missing key) — observable with obs on or off.
+        self.skipped_lines = 0
+        #: True when the on-disk file ends mid-line; the next append must
+        #: start with a newline so the new entry stays parseable.
+        self._needs_newline = False
         self._load()
 
     def _load(self) -> None:
         if not os.path.exists(self.path):
             return
         with open(self.path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError:
-                    continue
-                if not isinstance(entry, dict) or entry.get("version") != CACHE_VERSION:
-                    continue
-                key = entry.get("key")
-                if isinstance(key, str):
-                    self._entries[key] = entry
+            content = fh.read()
+        self._needs_newline = bool(content) and not content.endswith("\n")
+        for line in content.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                self.skipped_lines += 1
+                continue
+            if not isinstance(entry, dict) or entry.get("version") != CACHE_VERSION:
+                self.skipped_lines += 1
+                continue
+            key = entry.get("key")
+            if isinstance(key, str):
+                self._entries[key] = entry
+            else:
+                self.skipped_lines += 1
+        if self.skipped_lines:
+            _obs_metrics.counter("engine.compile_cache.skipped_lines").inc(
+                self.skipped_lines
+            )
 
     def lookup(self, key: str) -> dict[str, Any] | None:
         return self._entries.get(key)
 
-    def store(self, key: str, entry: dict[str, Any]) -> None:
+    def store(self, key: str, entry: dict[str, Any], *, torn_write: bool = False) -> None:
+        """Append one entry.
+
+        ``torn_write`` (fault injection only) simulates a writer crash
+        mid-append: only the first half of the line hits the disk, no
+        trailing newline, and the in-memory table is left untouched —
+        exactly what a killed process would leave behind.
+        """
         entry = {**entry, "key": key, "version": CACHE_VERSION}
+        data = (json.dumps(entry) + "\n").encode("utf-8")
+        if torn_write:
+            data = data[: max(1, len(data) // 2)]
         with self._lock:
-            self._entries[key] = entry
             os.makedirs(self.cache_dir, exist_ok=True)
-            with open(self.path, "a", encoding="utf-8") as fh:
-                fh.write(json.dumps(entry) + "\n")
+            if self._needs_newline:
+                data = b"\n" + data
+            fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+            try:
+                view = memoryview(data)
+                while view:
+                    view = view[os.write(fd, view):]
+            finally:
+                os.close(fd)
+            if torn_write:
+                self._needs_newline = True
+            else:
+                self._needs_newline = False
+                self._entries[key] = entry
 
     def __len__(self) -> int:
         return len(self._entries)

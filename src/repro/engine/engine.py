@@ -26,7 +26,13 @@ Determinism is the design invariant: all evaluators are pure functions
 of the candidate, batches are reassembled positionally, and the memo
 only short-circuits recomputation of identical values, so ``n_workers=1``
 (pure in-process), ``n_workers=N``, warm-cache and vectorized/scalar
-runs all produce byte-identical results.
+runs all produce byte-identical results.  Fault recovery preserves the
+same invariant: pooled evaluation runs under a
+:class:`~repro.engine.faults.FaultPolicy` (batch deadlines, bounded
+retry with backoff, pool respawn, per-task quarantine, degradation to
+inline evaluation — see :mod:`repro.engine.pool`), and because every
+recovery path re-runs the same pure function, a fault-ridden run
+returns byte-identical results to a fault-free one.
 
 Observability: every batch opens an ``engine.batch`` span and feeds the
 ``engine.cache.{hit,miss}`` and ``engine.pool.{tasks,batches}`` counters
@@ -49,6 +55,7 @@ import zlib
 from typing import Sequence
 
 from repro.engine.cache import MemoCache, global_memo
+from repro.engine.faults import FaultPlan, FaultPolicy, fresh_fault_stats
 from repro.engine.fingerprint import (
     candidate_key,
     candidate_key_from_describe,
@@ -99,6 +106,8 @@ class EvaluationEngine:
         min_pool_batch: int = DEFAULT_MIN_POOL_BATCH,
         vectorized: bool = True,
         divergence_rate: float = 0.0,
+        fault_policy: FaultPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
     ):
         if not 0.0 <= divergence_rate <= 1.0:
             raise ValueError(
@@ -111,9 +120,14 @@ class EvaluationEngine:
         self.min_pool_batch = min_pool_batch
         self.vectorized = vectorized
         self.divergence_rate = divergence_rate
+        self.fault_policy = fault_policy or FaultPolicy()
+        self.fault_plan = fault_plan
         #: Running watchdog tally (see :meth:`_watchdog`), readable even
         #: when obs is off.
         self.divergence_stats = {"checked": 0, "mismatched": 0}
+        #: Fault-recovery tally; rebound to the pool's live dict when a
+        #: pool starts, so it stays readable after close() (obs on or off).
+        self.fault_stats = fresh_fault_stats()
         self.memo = memo if memo is not None else global_memo()
         self.comp_fp = computation_fingerprint(comp)
         self.hw_fp = hardware_fingerprint(hardware)
@@ -323,11 +337,7 @@ class EvaluationEngine:
             for mapping_index, positions in chunks
         ]
         if use_pool:
-            if self._pool is None:
-                with _obs_span("engine.pool.start", workers=self.n_workers):
-                    self._pool = WorkerPool(
-                        self.physical, self.hardware, self.n_workers
-                    )
+            self._ensure_pool()
             _obs_metrics.counter("engine.pool.tasks").inc(len(miss_positions))
             _obs_metrics.counter("engine.pool.batches").inc()
             chunk_results = self._pool.evaluate_groups(payload)
@@ -357,12 +367,25 @@ class EvaluationEngine:
             for p, m in zip(prediction.total_us, timing.total_us)
         ]
 
+    def _ensure_pool(self) -> WorkerPool:
+        if self._pool is None:
+            with _obs_span("engine.pool.start", workers=self.n_workers):
+                self._pool = WorkerPool(
+                    self.physical,
+                    self.hardware,
+                    self.n_workers,
+                    policy=self.fault_policy,
+                    fault_plan=self.fault_plan,
+                )
+            # One dict, shared live: the pool mutates it, the engine
+            # (and the tuner's caller) reads it, even after close().
+            self.fault_stats = self._pool.fault_stats
+        return self._pool
+
     def _pool_evaluate(
         self, items: list[tuple[int, Schedule]], measure: bool
     ) -> list[tuple[float, float | None]]:
-        if self._pool is None:
-            with _obs_span("engine.pool.start", workers=self.n_workers):
-                self._pool = WorkerPool(self.physical, self.hardware, self.n_workers)
+        self._ensure_pool()
         payload = [(mi, sched.to_dict(), measure) for mi, sched in items]
         _obs_metrics.counter("engine.pool.tasks").inc(len(payload))
         _obs_metrics.counter("engine.pool.batches").inc()
@@ -374,8 +397,18 @@ class EvaluationEngine:
             self._pool.close()
             self._pool = None
 
+    def terminate(self) -> None:
+        """Kill the pool without waiting for in-flight work — the exit
+        path for aborted tunes, where a wedged worker must not be joined."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool = None
+
     def __enter__(self) -> "EvaluationEngine":
         return self
 
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.terminate()
+        else:
+            self.close()

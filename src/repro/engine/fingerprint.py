@@ -22,8 +22,10 @@ evaluation results:
   physical axis splits, bound to the computation's fingerprint;
 * a tuner-config fingerprint covers the exploration *budget* only —
   execution knobs (``n_workers``, ``cache_dir``, ``run_dir``,
-  ``divergence_rate``) are excluded because they cannot change what the
-  tuner returns, only how fast (or how observed) it runs.
+  ``divergence_rate``, and the fault-tolerance knobs ``eval_timeout_s``
+  / ``max_retries`` / ``retry_backoff_s`` / ``fault_plan``) are excluded
+  because they cannot change what the tuner returns, only how fast (or
+  how observed, or how fault-resilient) it runs.
 """
 
 from __future__ import annotations

@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.engine.engine import EvaluationEngine
+from repro.engine.faults import FaultPlan, FaultPolicy
 from repro.engine.fingerprint import (
     computation_fingerprint,
     hardware_fingerprint,
@@ -69,6 +70,15 @@ class TunerConfig:
     manifest there; ``divergence_rate`` samples that fraction of the
     engine's vectorized evaluations back through the scalar oracle and
     records parity as ``engine.divergence.*`` metrics.
+
+    ``eval_timeout_s`` / ``max_retries`` / ``retry_backoff_s`` are the
+    fault-tolerance knobs (execution-only too — every recovery path
+    re-runs the same pure evaluator): the per-batch pool deadline in
+    seconds (``None`` disables it; dead workers are still detected), the
+    retry budget per failing task before it is quarantined inline, and
+    the base of the exponential retry backoff.  ``fault_plan`` injects
+    deterministic faults (worker kills, hangs, raises, torn cache
+    writes) — test harness only, never set it in production.
     """
 
     population: int = 32
@@ -85,6 +95,10 @@ class TunerConfig:
     cache_dir: str | None = None
     run_dir: str | None = None
     divergence_rate: float = 0.0
+    eval_timeout_s: float | None = None
+    max_retries: int = 2
+    retry_backoff_s: float = 0.05
+    fault_plan: FaultPlan | None = None
 
 
 @dataclass
@@ -167,6 +181,12 @@ class Tuner:
             min_pool_batch=self.config.min_pool_batch,
             vectorized=self.config.vectorized,
             divergence_rate=self.config.divergence_rate,
+            fault_policy=FaultPolicy(
+                eval_timeout_s=self.config.eval_timeout_s,
+                max_retries=self.config.max_retries,
+                backoff_s=self.config.retry_backoff_s,
+            ),
+            fault_plan=self.config.fault_plan,
         )
 
     def _prefilter_indices(
@@ -271,11 +291,11 @@ class Tuner:
                     f"no valid mapping of {comp.name} onto target {self.hardware.target!r}"
                 )
 
-            engine = self._make_engine(comp, all_physical)
-            try:
+            # The engine's __exit__ closes the pool on success but
+            # *terminates* it when the tune raises — joining a worker
+            # that is wedged mid-task would hang the abort forever.
+            with self._make_engine(comp, all_physical) as engine:
                 return self._explore(comp, all_physical, engine, log, tune_span)
-            finally:
-                engine.close()
 
     def _explore(
         self,

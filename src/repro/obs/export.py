@@ -242,6 +242,20 @@ def _engine_section(metrics: Sequence[dict[str, Any]]) -> list[str]:
             f"  divergence watchdog:     {int(mismatched)} mismatch(es) "
             f"in {int(checked)} sampled re-evaluations"
         )
+    retries = counters.get("engine.fault.retries", 0.0)
+    respawns = counters.get("engine.fault.respawns", 0.0)
+    quarantined = counters.get("engine.fault.quarantined", 0.0)
+    if retries or respawns or quarantined:
+        lines.append(
+            f"  fault tolerance:         {int(retries)} retried task(s), "
+            f"{int(respawns)} pool respawn(s), "
+            f"{int(quarantined)} quarantined inline"
+        )
+    skipped = counters.get("engine.compile_cache.skipped_lines", 0.0)
+    if skipped:
+        lines.append(
+            f"  compile cache damage:    {int(skipped)} unreadable line(s) skipped"
+        )
     if not lines:
         return ["  (no engine cache/pool activity recorded)"]
     return lines

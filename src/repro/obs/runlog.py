@@ -81,6 +81,10 @@ class RunRecord:
     funnel: dict[str, int] = field(default_factory=dict)
     cache: dict[str, float] = field(default_factory=dict)
     divergence: dict[str, float] = field(default_factory=dict)
+    #: ``engine.fault.*`` counter deltas (retries, respawns, quarantined,
+    #: ...) for this run; empty when the run saw no faults.  Additive to
+    #: the schema: old loaders ignore it, old manifests default to {}.
+    faults: dict[str, float] = field(default_factory=dict)
     model_quality: dict[str, float] = field(default_factory=dict)
     schema: int = RUN_SCHEMA
 
@@ -111,12 +115,19 @@ class RunRecord:
 # Writing and loading manifests
 # ----------------------------------------------------------------------
 def write_run(record: RunRecord, run_dir: str | os.PathLike) -> Path:
-    """Write one manifest as ``run_<created_at>_<run_id>.json``."""
+    """Write one manifest as ``run_<created_at>_<run_id>.json``.
+
+    The write is atomic (tmp file + ``os.replace``): a crash mid-write
+    leaves at most a ``.run_*.tmp`` file, which the ``run_*.json`` glob
+    in :func:`load_runs` never picks up — never a truncated manifest.
+    """
     directory = Path(run_dir)
     directory.mkdir(parents=True, exist_ok=True)
     stamp = record.created_at.replace(":", "").replace("+", "Z")
     path = directory / f"run_{stamp}_{record.run_id}.json"
-    path.write_text(json.dumps(record.to_dict(), indent=2, sort_keys=True) + "\n")
+    tmp = directory / f".run_{stamp}_{record.run_id}.tmp"
+    tmp.write_text(json.dumps(record.to_dict(), indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
     return path
 
 
@@ -268,6 +279,11 @@ class FlightRecorder:
             "checked": counters.get("engine.divergence.checked", 0.0),
             "mismatched": counters.get("engine.divergence.mismatched", 0.0),
         }
+        faults = {
+            name[len("engine.fault."):]: value
+            for name, value in counters.items()
+            if name.startswith("engine.fault.") and value
+        }
         quality = {
             k: v
             for k, v in self.log.model_quality().items()
@@ -299,6 +315,7 @@ class FlightRecorder:
             funnel=self.log.funnel.to_dict(),
             cache=cache,
             divergence=divergence,
+            faults=faults,
             model_quality=quality,
         )
 
