@@ -2,19 +2,25 @@
 
 Every hot path of the pipeline is unconditionally instrumented (spans in
 the compiler/tuner/enumerator, metric updates in the simulator and
-validator).  The design contract is that the *disabled* fast path — one
-module-global check returning a shared no-op — is effectively free, so
-observability can stay compiled-in everywhere.
+validator, event publications at the bus call sites).  The design
+contract is that the *disabled* fast path — one module-global check
+returning a shared no-op — is effectively free, so observability can
+stay compiled-in everywhere.
 
 A naive A/B wall-time comparison of two identical binaries only measures
 timer noise, so the overhead is bounded from first principles instead:
 
-1. run once with obs *enabled* to count every instrumentation hit a
-   compile performs (spans entered, metric updates issued);
+1. run once with obs *and the event bus enabled* to count every
+   instrumentation hit a compile performs (spans entered, metric updates
+   issued, events published);
 2. measure the per-hit cost of the *disabled* primitives with ``timeit``
    (including the Python call overhead, which over-counts in our favour);
 3. assert  ``hits x per-hit-cost  <  5%``  of the disabled compile's
    wall time.
+
+The *enabled*-bus wall overhead (the opt-in ``--live`` path) is measured
+separately by :func:`measure_enabled_bus_overhead` and reported without
+a tight gate — it is paid only when the user asks for live telemetry.
 
 Runnable standalone (``pytest benchmarks/bench_obs_overhead.py``) and
 re-exported by ``tests/test_obs_overhead.py`` so the bound also holds
@@ -29,6 +35,7 @@ import repro.obs as obs
 from repro.compiler import amos_compile
 from repro.explore.tuner import TunerConfig
 from repro.frontends.operators import make_operator
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 
@@ -88,9 +95,25 @@ def measure_disabled_overhead(
         )
 
         # --- instrumentation hit counts from one enabled run ----------
+        # The bus is enabled too so event-publication call sites are
+        # counted: each costs one module-global check when disabled.
         obs.reset()
+        was_events = obs_events.events_enabled()
+        event_hits = 0
+
+        def count_event(_event: dict) -> None:
+            nonlocal event_hits
+            event_hits += 1
+
+        token = obs_events.get_bus().subscribe(count_event)
         obs.enable()
-        amos_compile(comp, "v100", config)
+        obs_events.enable_events()
+        try:
+            amos_compile(comp, "v100", config)
+        finally:
+            if not was_events:
+                obs_events.disable_events()
+            obs_events.get_bus().unsubscribe(token)
         span_hits = len(obs.get_tracer().spans())
         registry = obs.get_registry()
         metric_hits = (
@@ -114,8 +137,12 @@ def measure_disabled_overhead(
         def metric_hit() -> None:
             obs_metrics.counter("bench").inc()
 
+        def event_hit() -> None:
+            obs_events.emit("bench")
+
         span_cost_s = timeit.timeit(span_hit, number=n) / n
         metric_cost_s = timeit.timeit(metric_hit, number=n) / n
+        event_cost_s = timeit.timeit(event_hit, number=n) / n
     finally:
         if was_enabled:
             obs.enable()
@@ -123,13 +150,19 @@ def measure_disabled_overhead(
             obs.disable()
         obs.reset()
 
-    overhead_s = span_hits * span_cost_s + metric_hits * metric_cost_s
+    overhead_s = (
+        span_hits * span_cost_s
+        + metric_hits * metric_cost_s
+        + event_hits * event_cost_s
+    )
     return {
         "compile_s": compile_s,
         "span_hits": float(span_hits),
         "metric_hits": float(metric_hits),
+        "event_hits": float(event_hits),
         "span_cost_ns": span_cost_s * 1e9,
         "metric_cost_ns": metric_cost_s * 1e9,
+        "event_cost_ns": event_cost_s * 1e9,
         "overhead_s": overhead_s,
         "overhead_fraction": overhead_s / compile_s if compile_s else 0.0,
     }
@@ -147,13 +180,72 @@ def check_disabled_overhead_bound(
     return stats
 
 
+def measure_enabled_bus_overhead(
+    config: TunerConfig = BENCH_CONFIG,
+) -> dict[str, float]:
+    """Wall-time cost of compiling with the event bus *on* (the opt-in
+    ``--live`` path): events published to one counting subscriber, no
+    tracing.  Returned as A/B wall times plus the event count; reported
+    rather than tightly gated, since the enabled path is only paid when
+    the user asks for live telemetry.
+    """
+    comp = make_operator("GMM", m=64, n=64, k=64)
+    was_enabled = obs.enabled()
+    was_events = obs_events.events_enabled()
+    events_seen = 0
+
+    def count_event(_event: dict) -> None:
+        nonlocal events_seen
+        events_seen += 1
+
+    try:
+        obs.disable()
+        obs.reset()
+        obs_events.disable_events()
+        amos_compile(comp, "v100", config)  # warm-up (memo, imports)
+        disabled_s = min(
+            timeit.repeat(
+                lambda: amos_compile(comp, "v100", config), number=1, repeat=3
+            )
+        )
+        token = obs_events.get_bus().subscribe(count_event)
+        obs_events.enable_events()
+        try:
+            enabled_s = min(
+                timeit.repeat(
+                    lambda: amos_compile(comp, "v100", config), number=1, repeat=3
+                )
+            )
+        finally:
+            obs_events.disable_events()
+            obs_events.get_bus().unsubscribe(token)
+    finally:
+        if was_events:
+            obs_events.enable_events()
+        if was_enabled:
+            obs.enable()
+        else:
+            obs.disable()
+        obs.reset()
+
+    return {
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "events": float(events_seen),
+        "overhead_fraction": (
+            (enabled_s - disabled_s) / disabled_s if disabled_s else 0.0
+        ),
+    }
+
+
 def _report(label: str, stats: dict[str, float]) -> None:
     print(
         f"\nobs disabled overhead ({label}): "
         f"{stats['overhead_fraction']:.3%} of "
         f"{stats['compile_s'] * 1e3:.1f}ms compile "
         f"({stats['span_hits']:.0f} spans x {stats['span_cost_ns']:.0f}ns + "
-        f"{stats['metric_hits']:.0f} metric hits x {stats['metric_cost_ns']:.0f}ns)"
+        f"{stats['metric_hits']:.0f} metric hits x {stats['metric_cost_ns']:.0f}ns + "
+        f"{stats['event_hits']:.0f} events x {stats['event_cost_ns']:.0f}ns)"
     )
 
 
@@ -166,3 +258,17 @@ def test_obs_disabled_overhead_parallel_under_5_percent():
         "vectorized pool",
         check_disabled_overhead_bound(0.05, BENCH_CONFIG_PARALLEL),
     )
+
+
+def test_enabled_bus_overhead_reported():
+    stats = measure_enabled_bus_overhead()
+    print(
+        f"\nevent bus enabled overhead: {stats['overhead_fraction']:+.1%} wall "
+        f"({stats['disabled_s'] * 1e3:.1f}ms -> {stats['enabled_s'] * 1e3:.1f}ms, "
+        f"{stats['events']:.0f} events published)"
+    )
+    # Sanity only: the bus actually published, and turning it on does not
+    # blow the compile up by an order of magnitude.  Wall-clock ratios on
+    # shared CI runners are too noisy for a tight gate.
+    assert stats["events"] > 0
+    assert stats["enabled_s"] < stats["disabled_s"] * 10

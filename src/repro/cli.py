@@ -32,8 +32,12 @@ evaluation pool) and ``--quick`` (small fixed CI budget).
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 import time
+from datetime import datetime, timezone
+from pathlib import Path
 from typing import Sequence
 
 import repro.obs as obs
@@ -46,7 +50,10 @@ from repro.isa import get_intrinsic, intrinsics_for_target, list_intrinsics
 from repro.mapping.generation import enumerate_mappings
 from repro.mapping.physical import lower_to_physical
 from repro.model import get_hardware, list_hardware
+from repro.obs import events as _events
 from repro.obs.explore_log import ExploreLog, use_log
+from repro.obs.live import EventSocketServer, JsonlSink, watch
+from repro.obs.logging import configure_logging
 
 
 def _parse_params(
@@ -137,10 +144,48 @@ def _tuner_config(args) -> TunerConfig:
     )
 
 
+@contextlib.contextmanager
+def _live_session(args):
+    """Configure logging and (with ``--live`` / ``--live-socket``) turn
+    the telemetry bus on for the command's duration: a crash-safe JSONL
+    event stream in the run dir (what ``repro watch`` tails) and/or a
+    line-protocol socket server for external subscribers."""
+    configure_logging(quiet=getattr(args, "quiet", False))
+    live = getattr(args, "live", False)
+    live_socket = getattr(args, "live_socket", None)
+    if not live and not live_socket:
+        yield
+        return
+    if live and not args.run_dir:
+        args.parser.error("--live requires --run-dir (the event stream is written there)")
+    was_enabled = _events.events_enabled()
+    _events.enable_events()
+    sink = None
+    server = None
+    try:
+        if live:
+            stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%S")
+            path = Path(args.run_dir) / f"events_{stamp}_{os.getpid()}.jsonl"
+            sink = JsonlSink(path, bus=_events.get_bus())
+            print(f"live telemetry: {path}", file=sys.stderr)
+        if live_socket:
+            server = EventSocketServer(live_socket, bus=_events.get_bus())
+            print(f"event socket: {server.endpoint}", file=sys.stderr)
+        yield
+    finally:
+        if server is not None:
+            server.close()
+        if sink is not None:
+            sink.close()
+        if not was_enabled:
+            _events.disable_events()
+
+
 def _cmd_compile(args) -> int:
     comp = make_operator(args.operator, **_parse_params(args.parser, args.params))
     config = _tuner_config(args)
-    kernel = amos_compile(comp, args.hardware, config, emit_source=args.source)
+    with _live_session(args):
+        kernel = amos_compile(comp, args.hardware, config, emit_source=args.source)
     print(f"operator: {comp.name} ({comp.flop_count() / 1e9:.3f} GFLOPs)")
     if kernel.used_intrinsics:
         print(f"mapping: {kernel.scheduled.physical.compute.describe()}")
@@ -157,7 +202,8 @@ def _cmd_network(args) -> int:
     hw = get_hardware(args.hardware)
     ops = get_network(args.network)
     backend = AmosBackend(config=_tuner_config(args))
-    result = evaluate_network(args.network, ops, backend, hw, batch=args.batch)
+    with _live_session(args):
+        result = evaluate_network(args.network, ops, backend, hw, batch=args.batch)
     print(
         f"{args.network} on {args.hardware} (batch {args.batch}): "
         f"{result.total_us / 1e3:.3f} ms "
@@ -190,7 +236,7 @@ def _cmd_profile(args) -> int:
     log = ExploreLog(operator=comp.name, hardware=hw.name)
     start = time.perf_counter()
     try:
-        with use_log(log):
+        with _live_session(args), use_log(log):
             kernel = amos_compile(comp, hw, config)
     finally:
         if not was_enabled:
@@ -251,6 +297,15 @@ def _compare_runs(args) -> int:
     return 1 if report["regressions"] else 0
 
 
+def _cmd_watch(args) -> int:
+    return watch(
+        args.source,
+        once=args.once,
+        validate=args.validate,
+        interval_s=args.interval,
+    )
+
+
 def _add_tuning_flags(p: argparse.ArgumentParser) -> None:
     """Flags shared by every tuning entry point (compile/profile/network)."""
     p.add_argument("--seed", type=int, default=0)
@@ -305,6 +360,25 @@ def _add_tuning_flags(p: argparse.ArgumentParser) -> None:
         "--quick",
         action="store_true",
         help="small fixed exploration budget for smoke/CI runs",
+    )
+    p.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress progress logging (WARNING and above only; beats "
+        "REPRO_LOG_LEVEL)",
+    )
+    p.add_argument(
+        "--live",
+        action="store_true",
+        help="stream telemetry events to an events_*.jsonl file in "
+        "--run-dir (watch it live with `repro watch <run-dir>`)",
+    )
+    p.add_argument(
+        "--live-socket",
+        default=None,
+        metavar="ADDR",
+        help="also serve events on a socket: host:port / port (0 picks a "
+        "free one) for TCP, a filesystem path for a Unix socket",
     )
 
 
@@ -405,6 +479,35 @@ def build_parser() -> argparse.ArgumentParser:
         "throughput because wall-clock rates are machine-dependent",
     )
     p.set_defaults(func=_cmd_report, parser=p)
+
+    p = sub.add_parser(
+        "watch",
+        help="live terminal dashboard over a run's telemetry: point it at "
+        "an events_*.jsonl file, a run directory (newest stream wins), or "
+        "a host:port event socket",
+    )
+    p.add_argument(
+        "source",
+        help="event stream file, run directory, or host:port socket endpoint",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="render the current state once and exit (CI snapshot mode)",
+    )
+    p.add_argument(
+        "--validate",
+        action="store_true",
+        help="schema-check every event; non-zero exit on violations",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="refresh/poll interval in seconds (default 1.0)",
+    )
+    p.set_defaults(func=_cmd_watch, parser=p)
 
     p = sub.add_parser("network", help="evaluate a network end to end")
     p.add_argument("network", choices=sorted(NETWORKS))

@@ -69,6 +69,7 @@ from repro.mapping.physical import PhysicalMapping
 from repro.model.batch_model import batch_predict
 from repro.model.hardware_params import HardwareParams
 from repro.model.perf_model import predict_latency
+from repro.obs import events as _obs_events
 from repro.obs import metrics as _obs_metrics
 from repro.obs.trace import span as _obs_span
 from repro.schedule.features import MappingFeatures, derive_batch, encode_schedules
@@ -129,6 +130,11 @@ class EvaluationEngine:
         #: pool starts, so it stays readable after close() (obs on or off).
         self.fault_stats = fresh_fault_stats()
         self.memo = memo if memo is not None else global_memo()
+        #: Always-on liveness tallies behind the ``engine.heartbeat``
+        #: telemetry events (one per batch).
+        self._batch_seq = 0
+        self._memo_hits = 0
+        self._memo_misses = 0
         self.comp_fp = computation_fingerprint(comp)
         self.hw_fp = hardware_fingerprint(hardware)
         self.mapping_fps = [mapping_fingerprint(pm) for pm in self.physical]
@@ -194,6 +200,25 @@ class EvaluationEngine:
         hits = len(items) - len(miss_positions) - len(duplicate_of)
         _obs_metrics.counter("engine.cache.hit").inc(hits)
         _obs_metrics.counter("engine.cache.miss").inc(len(miss_positions))
+        self._batch_seq += 1
+        self._memo_hits += hits
+        self._memo_misses += len(miss_positions)
+        if _obs_events._enabled:
+            # Per-batch hits/misses mirror the engine.cache.{hit,miss}
+            # counter increments exactly, so the stream's cumulative sums
+            # equal the run manifest's cache section.
+            _obs_events.get_bus().publish(
+                "engine.heartbeat",
+                {
+                    "batch": self._batch_seq,
+                    "items": len(items),
+                    "hits": hits,
+                    "misses": len(miss_positions),
+                    "measure": measure,
+                    "memo_hits": self._memo_hits,
+                    "memo_misses": self._memo_misses,
+                },
+            )
 
         with _obs_span(
             "engine.batch",
@@ -278,6 +303,16 @@ class EvaluationEngine:
         _obs_metrics.counter("engine.divergence.checked").inc(checked)
         if mismatched:
             _obs_metrics.counter("engine.divergence.mismatched").inc(mismatched)
+        if checked and _obs_events._enabled:
+            _obs_events.get_bus().publish(
+                "engine.divergence",
+                {
+                    "checked": checked,
+                    "mismatched": mismatched,
+                    "total_checked": self.divergence_stats["checked"],
+                    "total_mismatched": self.divergence_stats["mismatched"],
+                },
+            )
 
     def _inline_evaluate(
         self, item: tuple[int, Schedule], measure: bool

@@ -15,6 +15,8 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.mapping.physical import PhysicalMapping
+from repro.obs import events as _events
+from repro.obs.explore_log import generation_stats
 from repro.schedule.schedule import Schedule
 from repro.schedule.space import ScheduleSpace
 
@@ -142,11 +144,20 @@ def genetic_search(
         return evaluated[k][1]
 
     def observe(generation: int) -> None:
-        if on_generation is None:
+        # Pure observation: every fitness is already cached by key, so
+        # neither the callback nor the telemetry event can perturb the
+        # RNG stream or selection.
+        if on_generation is None and not _events._enabled:
             return
         fitnesses = [evaluate(c) for c in population]  # cached by key
         unique = len({key_of(c) for c in population})
-        on_generation(generation, fitnesses, unique)
+        if on_generation is not None:
+            on_generation(generation, fitnesses, unique)
+        if _events._enabled:
+            _events.get_bus().publish(
+                "ga.generation",
+                generation_stats(generation, fitnesses, unique).to_dict(),
+            )
 
     for gen in range(config.generations):
         evaluate_batch(population)  # one batch call per generation

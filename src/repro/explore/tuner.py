@@ -37,12 +37,18 @@ from repro.mapping.generation import GenerationOptions, enumerate_mappings
 from repro.mapping.physical import PhysicalMapping, lower_to_physical
 from repro.model.hardware_params import HardwareParams
 from repro.obs import metrics as _obs_metrics
-from repro.obs.explore_log import ExploreLog, current_log, use_log
+from repro.obs.explore_log import ExploreLog, current_log, generation_stats, use_log
+from repro.obs.logging import LEVELS, get_logger, log_level
 from repro.obs.runlog import FlightRecorder, active_recorder
 from repro.obs.trace import span as _obs_span
 from repro.obs.trace import tracing_enabled as _obs_enabled
 from repro.schedule.lowering import ScheduledMapping, lower_schedule
 from repro.schedule.space import ScheduleSpace, default_schedule
+
+# Tuner progress goes through the structured logger (JSONL on stderr):
+# silent at the WARNING library default, narrated at INFO (the CLI's
+# default unless --quiet / REPRO_LOG_LEVEL says otherwise).
+_log = get_logger("repro.tuner")
 
 
 @dataclass
@@ -312,6 +318,12 @@ class Tuner:
         physical = [all_physical[i] for i in selected]
         if log is not None:
             log.record_funnel("prefiltered", len(physical))
+        _log.info(
+            "prefilter done",
+            operator=comp.name,
+            kept=len(physical),
+            candidates=len(all_physical),
+        )
 
         # Distinct mappings that receive at least one simulator
         # measurement (the funnel's final stage).
@@ -352,8 +364,20 @@ class Tuner:
             seed=self.config.seed,
         )
         on_generation = None
-        if log is not None:
-            on_generation = log.record_generation
+        if log is not None or log_level() <= LEVELS["info"]:
+            # Pure observation either way: the GA hands over fitnesses it
+            # already computed, so logging cannot perturb the search.
+            def on_generation(generation, fitnesses, unique):
+                if log is not None:
+                    log.record_generation(generation, fitnesses, unique)
+                stats = generation_stats(generation, fitnesses, unique)
+                _log.info(
+                    "generation",
+                    generation=generation,
+                    best_us=stats.best_fitness,
+                    mean_us=stats.mean_fitness,
+                    diversity=round(stats.diversity, 3),
+                )
         with _obs_span("tuner.genetic_search", mappings=len(physical)):
             ranked = genetic_search(
                 physical,
@@ -388,6 +412,9 @@ class Tuner:
         # trials/telemetry) a candidate the ranked pass covered.
         measured_keys: set[tuple[int, str]] = set()
 
+        _log.info(
+            "measuring candidates", operator=comp.name, candidates=len(measured_set)
+        )
         with _obs_span("tuner.measure", candidates=len(measured_set)):
             measured_results = measure_batch([ranked[idx][0] for idx in to_measure])
             measured_by_rank = dict(zip(to_measure, measured_results))
@@ -469,6 +496,12 @@ class Tuner:
                 break
 
         rng = random.Random(self.config.seed + 1)
+        _log.info(
+            "refining",
+            operator=comp.name,
+            starts=len(seeds_for_refine),
+            rounds=self.config.refine_rounds,
+        )
         with _obs_span("tuner.refine", starts=len(seeds_for_refine)):
             for start_candidate, start_us in seeds_for_refine:
                 current, current_us = start_candidate, start_us
@@ -509,6 +542,13 @@ class Tuner:
 
         if log is not None:
             log.record_funnel("measured", len(measured_mappings))
+        _log.info(
+            "tune done",
+            operator=comp.name,
+            best_us=best_us,
+            mappings=len(physical),
+            trials=len(trials),
+        )
         tune_span.set(best_us=best_us, num_mappings=len(physical))
         return ExplorationResult(
             best=best,

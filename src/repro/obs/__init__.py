@@ -22,8 +22,40 @@ compilation results are bit-identical with obs enabled or disabled.
 """
 
 from repro.obs.chrome_trace import chrome_trace_events, export_chrome_trace
+from repro.obs.events import (
+    EVENT_SCHEMA,
+    EVENT_TYPES,
+    Event,
+    EventBus,
+    disable_events,
+    emit,
+    enable_events,
+    events_enabled,
+    get_bus,
+    reset_events,
+    validate_event,
+)
 from repro.obs.explore_log import ExploreLog, FunnelCounts, current_log, use_log
 from repro.obs.export import export_jsonl, load_jsonl, render_report
+from repro.obs.live import (
+    EventSocketServer,
+    HealthConfig,
+    HealthMonitor,
+    JsonlSink,
+    WatchState,
+    attach_health_monitor,
+    load_events,
+    render_dashboard,
+    subscribe_events,
+)
+from repro.obs.logging import (
+    StructuredLogger,
+    configure_logging,
+    get_logger,
+    log_level,
+    set_log_level,
+    set_log_stream,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -62,41 +94,67 @@ from repro.obs.trace import (
 __all__ = [
     "CompareThresholds",
     "Counter",
+    "EVENT_SCHEMA",
+    "EVENT_TYPES",
+    "Event",
+    "EventBus",
+    "EventSocketServer",
     "ExploreLog",
     "FlightRecorder",
     "FunnelCounts",
     "Gauge",
+    "HealthConfig",
+    "HealthMonitor",
     "Histogram",
+    "JsonlSink",
     "MetricsRegistry",
     "RunRecord",
     "Span",
+    "StructuredLogger",
     "Tracer",
+    "WatchState",
     "active_recorder",
     "aggregate_spans",
+    "attach_health_monitor",
     "chrome_trace_events",
     "clock_offset_s",
     "compare_runs",
+    "configure_logging",
     "counter",
     "current_log",
     "current_span_id",
     "disable",
+    "disable_events",
+    "emit",
     "enable",
+    "enable_events",
     "enabled",
+    "events_enabled",
     "export_chrome_trace",
     "export_jsonl",
     "gauge",
+    "get_bus",
+    "get_logger",
     "get_registry",
     "get_tracer",
     "histogram",
+    "load_events",
     "load_jsonl",
     "load_runs",
+    "log_level",
     "render_comparison",
+    "render_dashboard",
     "render_report",
     "reset",
+    "reset_events",
+    "set_log_level",
+    "set_log_stream",
     "span",
+    "subscribe_events",
     "traced",
     "tracing",
     "use_log",
+    "validate_event",
     "write_run",
 ]
 

@@ -23,6 +23,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Sequence
 
+from repro.obs import events as _events
+
 __all__ = [
     "ExploreLog",
     "FunnelCounts",
@@ -127,6 +129,15 @@ class ExploreLog:
     # -- recording -----------------------------------------------------
     def record_funnel(self, stage: str, count: int) -> None:
         self.funnel.record(stage, count)
+        if _events._enabled:
+            _events.get_bus().publish(
+                "funnel.stage",
+                {
+                    "stage": stage,
+                    "count": count,
+                    "total": getattr(self.funnel, stage),
+                },
+            )
 
     def record_generation(
         self, generation: int, fitnesses: Sequence[float], unique_candidates: int

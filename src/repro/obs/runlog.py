@@ -37,10 +37,14 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.obs.explore_log import ExploreLog, current_log, use_log
+from repro.obs.logging import get_logger
 from repro.obs.trace import aggregate_spans
+
+_log = get_logger("repro.obs.runlog")
 
 __all__ = [
     "CompareThresholds",
@@ -85,6 +89,10 @@ class RunRecord:
     #: ...) for this run; empty when the run saw no faults.  Additive to
     #: the schema: old loaders ignore it, old manifests default to {}.
     faults: dict[str, float] = field(default_factory=dict)
+    #: ``obs.health.*`` counter deltas (detector name -> fire count) from
+    #: the live health monitor; empty on healthy runs and when the event
+    #: bus was off.  Additive like ``faults``.
+    health: dict[str, float] = field(default_factory=dict)
     model_quality: dict[str, float] = field(default_factory=dict)
     schema: int = RUN_SCHEMA
 
@@ -147,13 +155,25 @@ def load_runs(path: str | os.PathLike) -> list[RunRecord]:
         raise FileNotFoundError(f"no run directory or manifest at {p}")
     records = []
     for file in files:
+        # A live `repro watch` polls run dirs while manifests are being
+        # written (and other tools may drop junk there): any unreadable,
+        # partially-written or wrong-shaped file is skipped with a
+        # warning, never fatal.
         try:
             data = json.loads(file.read_text())
-        except (OSError, json.JSONDecodeError):
+            if not isinstance(data, dict) or data.get("schema") != RUN_SCHEMA:
+                continue
+            record = RunRecord.from_dict(data)
+            if not isinstance(record.created_at, str):
+                raise TypeError("created_at is not a string")
+        except (OSError, json.JSONDecodeError, TypeError, ValueError) as exc:
+            _log.warning(
+                "skipping unreadable run manifest",
+                file=str(file),
+                error=f"{type(exc).__name__}: {exc}",
+            )
             continue
-        if not isinstance(data, dict) or data.get("schema") != RUN_SCHEMA:
-            continue
-        records.append(RunRecord.from_dict(data))
+        records.append(record)
     records.sort(key=lambda r: r.created_at)
     return records
 
@@ -214,6 +234,11 @@ class FlightRecorder:
         self._base_metrics: list[dict[str, Any]] = []
         self._span_mark = 0
         self._t0 = 0.0
+        self.run_id = ""
+        self.created_at = ""
+        self._deltas: list[dict[str, Any]] = []
+        self._prior_bus_run_id: str | None = None
+        self._health_monitor = None
 
     # -- lifecycle -----------------------------------------------------
     def __enter__(self) -> "FlightRecorder":
@@ -233,8 +258,53 @@ class FlightRecorder:
             self.log = current_log()
         self._base_metrics = _metrics.get_registry().snapshot()
         self._span_mark = len(_trace.get_tracer())
+        # Run identity is minted at entry (not at manifest-build time) so
+        # the event stream carries it from the first event on.
+        self.created_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
+        identity = "|".join(
+            (
+                self.created_at,
+                self.kind,
+                self.operator,
+                self.hardware,
+                *sorted(self.fingerprints.values()),
+                str(os.getpid()),
+            )
+        )
+        self.run_id = hashlib.sha256(identity.encode()).hexdigest()[:12]
+        if _events.events_enabled():
+            bus = _events.get_bus()
+            self._prior_bus_run_id = bus.run_id
+            bus.run_id = self.run_id
+            # Imported lazily: live.py consumes this module's loaders.
+            from repro.obs.live import attach_health_monitor
+
+            self._health_monitor = attach_health_monitor(bus)
+            bus.publish("run.start", self._run_start_data())
         self._t0 = time.perf_counter()
         return self
+
+    def _run_start_data(self) -> dict[str, Any]:
+        """run.start payload: identity plus the *budget* knobs only, so
+        the event is worker-count invariant by construction."""
+        budget = {}
+        for knob in (
+            "population",
+            "generations",
+            "measure_top",
+            "prefilter_mappings",
+            "refine_rounds",
+            "seed",
+        ):
+            value = getattr(self.config, knob, None)
+            if value is not None:
+                budget[knob] = value
+        return {
+            "kind": self.kind,
+            "operator": self.operator,
+            "hardware": self.hardware,
+            "budget": budget,
+        }
 
     def set_outcome(self, **outcome: Any) -> None:
         self._outcome.update(outcome)
@@ -246,8 +316,38 @@ class FlightRecorder:
         try:
             if exc_type is None:
                 self.record = self._build(wall_s)
+                if _events.events_enabled():
+                    bus = _events.get_bus()
+                    bus.publish("metric.delta", {"deltas": self._deltas})
+                    bus.publish(
+                        "run.end",
+                        {
+                            "status": "ok",
+                            "wall_s": wall_s,
+                            "outcome": self.record.outcome,
+                            "funnel": self.record.funnel,
+                            "cache": self.record.cache,
+                            "faults": self.record.faults,
+                            "health": self.record.health,
+                        },
+                    )
                 self.path = write_run(self.record, self.run_dir)
+            elif _events.events_enabled():
+                _events.get_bus().publish(
+                    "run.end",
+                    {
+                        "status": "error",
+                        "wall_s": wall_s,
+                        "error": exc_type.__name__,
+                    },
+                )
         finally:
+            if self._health_monitor is not None:
+                self._health_monitor.close()
+                self._health_monitor = None
+            if self._prior_bus_run_id is not None:
+                _events.get_bus().run_id = self._prior_bus_run_id
+                self._prior_bus_run_id = None
             if self._log_binding is not None:
                 self._log_binding.__exit__()
             if not self._was_enabled:
@@ -258,6 +358,7 @@ class FlightRecorder:
     # -- assembly ------------------------------------------------------
     def _build(self, wall_s: float) -> RunRecord:
         deltas = _metrics.get_registry().diff(self._base_metrics)
+        self._deltas = deltas
         counters = {
             d["name"]: d["value"] for d in deltas if d["kind"] == "counter"
         }
@@ -284,25 +385,19 @@ class FlightRecorder:
             for name, value in counters.items()
             if name.startswith("engine.fault.") and value
         }
+        health = {
+            name[len("obs.health."):]: value
+            for name, value in counters.items()
+            if name.startswith("obs.health.") and value
+        }
         quality = {
             k: v
             for k, v in self.log.model_quality().items()
             if isinstance(v, float) and math.isfinite(v)
         }
-        created_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
-        identity = "|".join(
-            (
-                created_at,
-                self.kind,
-                self.operator,
-                self.hardware,
-                *sorted(self.fingerprints.values()),
-                str(os.getpid()),
-            )
-        )
         return RunRecord(
-            run_id=hashlib.sha256(identity.encode()).hexdigest()[:12],
-            created_at=created_at,
+            run_id=self.run_id,
+            created_at=self.created_at,
             kind=self.kind,
             operator=self.operator,
             hardware=self.hardware,
@@ -316,6 +411,7 @@ class FlightRecorder:
             cache=cache,
             divergence=divergence,
             faults=faults,
+            health=health,
             model_quality=quality,
         )
 

@@ -28,6 +28,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
+from repro.obs import events as _events
+
 __all__ = [
     "Span",
     "Tracer",
@@ -127,6 +129,10 @@ class _NullSpan:
 
 _NULL_SPAN = _NullSpan()
 
+#: Span-name prefixes whose closures are also published as ``span.close``
+#: telemetry events (coarse pipeline stages only; see Tracer._finish).
+_EVENT_SPAN_PREFIXES = ("compile", "tuner.", "engine.", "worker.")
+
 
 class Tracer:
     """Collects spans from any number of threads."""
@@ -172,6 +178,13 @@ class Tracer:
                 pass
         with self._lock:
             self._spans.append(s)
+        # Streamed span-close events cover only the coarse pipeline stages
+        # (the curated prefixes): per-candidate micro-spans would swamp
+        # sinks without telling a dashboard anything new.
+        if _events._enabled and s.name.startswith(_EVENT_SPAN_PREFIXES):
+            _events.get_bus().publish(
+                "span.close", {"name": s.name, "duration_us": s.duration_us}
+            )
 
     # -- public --------------------------------------------------------
     def spans(self) -> list[Span]:
@@ -279,6 +292,12 @@ def get_tracer() -> Tracer:
 def current_span_id() -> int | None:
     """Id of the innermost live span on the calling thread, or None."""
     return _tracer.current_span_id()
+
+
+# The event bus is a leaf module and cannot import this one, so the
+# correlation hook is injected: events published on the bus carry the
+# calling thread's innermost live span id.
+_events._span_id_provider = current_span_id
 
 
 def clock_offset_s() -> float:

@@ -1,0 +1,759 @@
+"""Live telemetry bus: events, structured logs, sinks, watch, health.
+
+Covers the PR's contracts:
+
+* the EventBus publishes schema-valid, correlated events; adopt() rebases
+  foreign timestamps exactly like ``Tracer.merge`` shifts spans;
+* event streams are worker-count invariant — n_workers 1 vs 4 yield the
+  same deterministic event multiset (modulo pid/lane/seq/timestamps) and
+  the pooled run additionally shows lane-tagged worker events;
+* events round-trip through the crash-safe JSONL sink (torn tail lines
+  are skipped, not fatal) and through the socket server;
+* a quick tune with the bus on yields a stream whose cumulative funnel /
+  memo-cache / fault sums exactly match the run manifest's sections, and
+  ``repro watch --once --validate`` renders it with exit 0;
+* the structured logger filters by level (explicit > REPRO_LOG_LEVEL >
+  WARNING), rate-limits repeats, attaches run/span correlation, and
+  republishes WARNING+ records on the bus;
+* the health detectors fire on synthetic stalls/stagnation/cache
+  collapse and stay silent on healthy streams;
+* ``load_runs`` skips unreadable or wrong-shaped manifests with a logged
+  warning instead of raising.
+"""
+
+import io
+import json
+import os
+import socket as socket_mod
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.obs as obs
+from repro.cli import main as cli_main
+from repro.engine import reset_compile_caches, reset_global_memo
+from repro.explore.tuner import Tuner, TunerConfig
+from repro.frontends.operators import make_operator
+from repro.model import get_hardware
+from repro.obs import events as events_mod
+from repro.obs import logging as logging_mod
+from repro.obs.events import EVENT_SCHEMA, EVENT_TYPES, EventBus, validate_event
+from repro.obs.live import (
+    EventSocketServer,
+    HealthConfig,
+    HealthMonitor,
+    JsonlSink,
+    WatchState,
+    load_events,
+    render_dashboard,
+    subscribe_events,
+)
+from repro.obs.logging import StructuredLogger, get_logger
+from repro.obs.runlog import load_runs, write_run, RunRecord
+
+FAST = TunerConfig(
+    population=8, generations=2, measure_top=8, refine_rounds=1, refine_neighbors=4
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    """Obs + bus off and empty, caches cold, log level unset, around each."""
+    obs.disable()
+    obs.reset()
+    events_mod.disable_events()
+    events_mod.reset_events()
+    logging_mod.set_log_level(None)
+    logging_mod.set_log_stream(None)
+    os.environ.pop(logging_mod.ENV_LEVEL, None)
+    reset_global_memo()
+    reset_compile_caches()
+    yield
+    obs.disable()
+    obs.reset()
+    events_mod.disable_events()
+    events_mod.reset_events()
+    logging_mod.set_log_level(None)
+    logging_mod.set_log_stream(None)
+    logging_mod._now_fn = time.time
+    os.environ.pop(logging_mod.ENV_LEVEL, None)
+    reset_global_memo()
+    reset_compile_caches()
+
+
+def small_gemm():
+    return make_operator("GMM", m=64, n=64, k=64)
+
+
+def fast_config(**overrides) -> TunerConfig:
+    import dataclasses
+
+    return dataclasses.replace(FAST, **overrides)
+
+
+def collect_bus():
+    """Subscribe a list collector to the global bus."""
+    seen = []
+    events_mod.get_bus().subscribe(seen.append)
+    return seen
+
+
+# ----------------------------------------------------------------------
+# Bus basics
+# ----------------------------------------------------------------------
+class TestEventBus:
+    def test_disabled_emit_is_none_and_publishes_nothing(self):
+        seen = collect_bus()
+        assert events_mod.emit("run.end", {"status": "ok"}) is None
+        assert seen == []
+
+    def test_publish_stamps_envelope(self):
+        events_mod.enable_events()
+        seen = collect_bus()
+        event = events_mod.emit("engine.fault", {"name": "retries", "amount": 2})
+        assert seen == [event]
+        assert validate_event(event) == []
+        assert event["pid"] == os.getpid()
+        assert event["schema"] == EVENT_SCHEMA
+        assert event["seq"] == 0
+        second = events_mod.emit("engine.fault", name="retries", amount=1)
+        assert second["seq"] == 1
+        assert second["data"]["amount"] == 1
+
+    def test_every_registered_type_validates(self):
+        events_mod.enable_events()
+        samples = {
+            "run.start": {"kind": "tune", "operator": "gemm", "hardware": "v100"},
+            "run.end": {"status": "ok"},
+            "span.close": {"name": "compile", "duration_us": 1.0},
+            "funnel.stage": {"stage": "validated", "count": 3, "total": 3},
+            "ga.generation": {
+                "generation": 0,
+                "best_fitness": 1.0,
+                "mean_fitness": 2.0,
+                "population": 8,
+            },
+            "engine.heartbeat": {
+                "batch": 1,
+                "items": 8,
+                "hits": 0,
+                "misses": 8,
+                "memo_hits": 0,
+                "memo_misses": 8,
+            },
+            "engine.fault": {"name": "retries", "amount": 1},
+            "engine.divergence": {"checked": 4, "mismatched": 0},
+            "cache.compile": {"event": "hit"},
+            "metric.delta": {"deltas": []},
+            "health.warning": {"detector": "stagnation", "message": "stuck"},
+            "log": {"level": "warning", "msg": "boom"},
+            "stream.hello": {},
+        }
+        assert set(samples) == set(EVENT_TYPES)
+        for etype, data in samples.items():
+            assert validate_event(events_mod.emit(etype, data)) == []
+
+    def test_validate_rejects_bad_events(self):
+        assert validate_event("nope")
+        assert validate_event({}) != []
+        events_mod.enable_events()
+        event = events_mod.emit("run.end", {"status": "ok"})
+        assert validate_event({**event, "schema": 99})
+        assert validate_event({**event, "type": "no.such.event"})
+        assert validate_event({**event, "data": {}})  # missing 'status'
+
+    def test_raising_subscriber_is_contained(self):
+        events_mod.enable_events()
+        bus = events_mod.get_bus()
+
+        def boom(event):
+            raise RuntimeError("subscriber bug")
+
+        bus.subscribe(boom)
+        seen = collect_bus()
+        events_mod.emit("run.end", {"status": "ok"})
+        assert len(seen) == 1 and bus.errors == 1
+
+    def test_adopt_rebases_clocks_and_tags_lane(self):
+        events_mod.enable_events()
+        bus = events_mod.get_bus()
+        bus.run_id = "parent-run"
+        seen = collect_bus()
+        foreign = {
+            "type": "span.close",
+            "t_s": 5.0,
+            "t_wall": 1000.0,
+            "seq": 17,
+            "pid": 4242,
+            "data": {"name": "worker.eval", "duration_us": 3.0},
+            "lane": None,
+            "run_id": "",
+            "span_id": 9,
+            "schema": EVENT_SCHEMA,
+        }
+        (adopted,) = bus.adopt([foreign], shift_s=100.0, lane=2)
+        assert seen == [adopted]
+        assert adopted["t_s"] == pytest.approx(105.0)
+        # t_wall is recomputed from the rebased t_s on the local clock.
+        assert adopted["t_wall"] == pytest.approx(
+            105.0 + (time.time() - time.perf_counter()), abs=1.0
+        )
+        assert adopted["lane"] == 2
+        assert adopted["run_id"] == "parent-run"
+        assert adopted["pid"] == 4242  # provenance kept
+        assert adopted["seq"] == 0  # re-sequenced by the adopting bus
+
+    def test_buffering_drain(self):
+        events_mod.enable_events()
+        bus = events_mod.get_bus()
+        bus.buffering = True
+        events_mod.emit("run.end", {"status": "ok"})
+        events_mod.emit("run.end", {"status": "ok"})
+        drained = bus.drain()
+        assert [e["seq"] for e in drained] == [0, 1]
+        assert bus.drain() == []
+
+
+# ----------------------------------------------------------------------
+# JSONL sink
+# ----------------------------------------------------------------------
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        events_mod.enable_events()
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path, bus=events_mod.get_bus()):
+            published = [
+                events_mod.emit("funnel.stage", stage="validated", count=i, total=i)
+                for i in range(5)
+            ]
+        loaded, skipped = load_events(path)
+        assert skipped == 0
+        assert loaded == published
+        for event in loaded:
+            assert validate_event(event) == []
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        events_mod.enable_events()
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path, bus=events_mod.get_bus()):
+            events_mod.emit("run.end", {"status": "ok"})
+        with path.open("ab") as stream:
+            stream.write(b'{"type": "run.end", "t_s"')  # crash mid-line
+        loaded, skipped = load_events(path)
+        assert len(loaded) == 1 and skipped == 1
+
+    def test_unsubscribes_on_close(self, tmp_path):
+        events_mod.enable_events()
+        sink = JsonlSink(tmp_path / "events.jsonl", bus=events_mod.get_bus())
+        sink.close()
+        events_mod.emit("run.end", {"status": "ok"})
+        assert events_mod.get_bus().errors == 0
+        loaded, _ = load_events(tmp_path / "events.jsonl")
+        assert loaded == []
+
+
+# ----------------------------------------------------------------------
+# Socket server
+# ----------------------------------------------------------------------
+class TestSocketServer:
+    def test_tcp_subscribe_receives_hello_and_events(self):
+        events_mod.enable_events()
+        with EventSocketServer("127.0.0.1:0", bus=events_mod.get_bus()) as server:
+            received = []
+            done = threading.Event()
+
+            def client():
+                for event in subscribe_events(server.endpoint, timeout_s=10.0):
+                    received.append(event)
+                    if len(received) >= 3:
+                        break
+                done.set()
+
+            thread = threading.Thread(target=client, daemon=True)
+            thread.start()
+            deadline = time.time() + 10.0
+            while server.n_clients == 0 and time.time() < deadline:
+                time.sleep(0.01)
+            assert server.n_clients == 1
+            events_mod.emit("run.start", kind="tune", operator="g", hardware="v")
+            events_mod.emit("run.end", {"status": "ok"})
+            assert done.wait(10.0)
+            assert received[0]["type"] == "stream.hello"
+            assert [e["type"] for e in received[1:]] == ["run.start", "run.end"]
+
+    def test_unix_socket(self, tmp_path):
+        if not hasattr(socket_mod, "AF_UNIX"):
+            pytest.skip("no AF_UNIX on this platform")
+        events_mod.enable_events()
+        addr = str(tmp_path / "events.sock")
+        with EventSocketServer(addr, bus=events_mod.get_bus()) as server:
+            assert server.endpoint == addr
+            received = []
+            done = threading.Event()
+
+            def client():
+                for event in subscribe_events(addr, timeout_s=10.0):
+                    received.append(event)
+                    if len(received) >= 2:
+                        break
+                done.set()
+
+            thread = threading.Thread(target=client, daemon=True)
+            thread.start()
+            deadline = time.time() + 10.0
+            while server.n_clients == 0 and time.time() < deadline:
+                time.sleep(0.01)
+            events_mod.emit("run.end", {"status": "ok"})
+            assert done.wait(10.0)
+            assert [e["type"] for e in received] == ["stream.hello", "run.end"]
+        assert not Path(addr).exists()  # cleaned up on close
+
+
+# ----------------------------------------------------------------------
+# Structured logger
+# ----------------------------------------------------------------------
+class TestStructuredLogger:
+    def _capture(self):
+        stream = io.StringIO()
+        logging_mod.set_log_stream(stream)
+        return stream
+
+    def _records(self, stream):
+        return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+    def test_level_filtering_default_warning(self):
+        stream = self._capture()
+        log = StructuredLogger("t.default")
+        log.info("quiet please")
+        log.warning("heard")
+        records = self._records(stream)
+        assert [r["msg"] for r in records] == ["heard"]
+        assert records[0]["level"] == "warning"
+        assert records[0]["logger"] == "t.default"
+        assert records[0]["pid"] == os.getpid()
+
+    def test_env_level_and_explicit_override(self):
+        stream = self._capture()
+        os.environ[logging_mod.ENV_LEVEL] = "debug"
+        log = StructuredLogger("t.env")
+        log.debug("via env")
+        logging_mod.set_log_level("error")  # explicit beats env
+        log.warning("dropped")
+        log.error("kept")
+        assert [r["msg"] for r in self._records(stream)] == ["via env", "kept"]
+
+    def test_configure_logging_quiet_beats_env(self):
+        stream = self._capture()
+        os.environ[logging_mod.ENV_LEVEL] = "debug"
+        logging_mod.configure_logging(quiet=True)
+        log = StructuredLogger("t.quiet")
+        log.info("dropped")
+        log.warning("kept")
+        assert [r["msg"] for r in self._records(stream)] == ["kept"]
+
+    def test_rate_limit_suppresses_and_reports(self):
+        stream = self._capture()
+        clock = [0.0]
+        logging_mod._now_fn = lambda: clock[0]
+        log = StructuredLogger("t.rate", burst=2, window_s=10.0)
+        logging_mod.set_log_level("info")
+        for _ in range(6):
+            log.info("hot loop")
+        clock[0] = 11.0  # next window
+        log.info("hot loop")
+        records = self._records(stream)
+        assert len(records) == 3  # 2 in the first window + 1 in the next
+        assert records[2]["suppressed"] == 4
+
+    def test_correlation_and_warning_republish(self):
+        stream = self._capture()
+        events_mod.enable_events()
+        events_mod.get_bus().run_id = "run-xyz"
+        seen = collect_bus()
+        obs.enable()
+        log = StructuredLogger("t.corr")
+        with obs.span("tuner.test_span"):
+            log.warning("pool degraded", workers=4)
+        record = self._records(stream)[0]
+        assert record["run_id"] == "run-xyz"
+        assert isinstance(record["span_id"], int)
+        assert record["workers"] == 4
+        # WARNING+ also lands on the bus as a `log` event.
+        log_events = [e for e in seen if e["type"] == "log"]
+        assert len(log_events) == 1
+        assert log_events[0]["data"]["msg"] == "pool degraded"
+        assert log_events[0]["data"]["workers"] == 4
+        assert log_events[0]["run_id"] == "run-xyz"
+
+    def test_get_logger_cached(self):
+        assert get_logger("same.name") is get_logger("same.name")
+
+
+# ----------------------------------------------------------------------
+# Health detectors
+# ----------------------------------------------------------------------
+def _ev(etype, data, t_wall):
+    return {
+        "type": etype,
+        "t_s": t_wall,
+        "t_wall": t_wall,
+        "seq": 0,
+        "pid": 1,
+        "data": data,
+        "lane": None,
+        "run_id": "",
+        "span_id": None,
+        "schema": EVENT_SCHEMA,
+    }
+
+
+def _gen(i, best, t_wall=0.0):
+    return _ev(
+        "ga.generation",
+        {"generation": i, "best_fitness": best, "mean_fitness": best, "population": 8},
+        t_wall,
+    )
+
+
+class TestHealthMonitor:
+    def test_silent_on_healthy_stream(self):
+        monitor = HealthMonitor(HealthConfig(stagnation_generations=3))
+        fired = []
+        for i in range(10):
+            # steadily improving, closely spaced, warm cache
+            fired += monitor.observe(_gen(i, 100.0 - 10 * i, t_wall=i * 1.0))
+            fired += monitor.observe(
+                _ev(
+                    "engine.heartbeat",
+                    {
+                        "batch": i,
+                        "items": 8,
+                        "hits": 6,
+                        "misses": 2,
+                        "memo_hits": 6 * (i + 1),
+                        "memo_misses": 2 * (i + 1),
+                    },
+                    i * 1.0 + 0.5,
+                )
+            )
+        assert fired == []
+        assert monitor.warnings == []
+
+    def test_stagnation_fires_once_and_rearms_on_improvement(self):
+        monitor = HealthMonitor(HealthConfig(stagnation_generations=3))
+        fired = []
+        for i in range(10):
+            fired += monitor.observe(_gen(i, 50.0, t_wall=float(i)))
+        stagnation = [w for w in fired if w["detector"] == "stagnation"]
+        assert len(stagnation) == 1  # latched, not one per generation
+        # An improvement re-arms the detector...
+        assert monitor.observe(_gen(10, 10.0, t_wall=10.0)) == []
+        # ...and a fresh plateau fires again.
+        fired2 = []
+        for i in range(11, 20):
+            fired2 += monitor.observe(_gen(i, 10.0, t_wall=float(i)))
+        assert [w["detector"] for w in fired2] == ["stagnation"]
+
+    def test_no_progress_via_gap_and_check_idle(self):
+        monitor = HealthMonitor(HealthConfig(no_progress_s=5.0))
+        assert monitor.observe(_gen(0, 1.0, t_wall=0.0)) == []
+        # Event arriving after a long silence flags the gap.
+        fired = monitor.observe(_gen(1, 0.9, t_wall=60.0))
+        assert [w["detector"] for w in fired] == ["no_progress"]
+        # Poll-side: silence with no event at all.
+        idle = monitor.check_idle(now_wall=120.0)
+        assert [w["detector"] for w in idle] == ["no_progress"]
+        assert monitor.check_idle(now_wall=130.0) == []  # latched
+        # Progress resumes -> re-armed.
+        monitor.observe(_gen(2, 0.8, t_wall=131.0))
+        assert monitor.check_idle(now_wall=132.0) == []
+
+    def test_cache_collapse_needs_warmup(self):
+        config = HealthConfig(cache_window=4, cache_min_heartbeats=4)
+        cold = HealthMonitor(config)
+        fired = []
+        for i in range(12):  # all misses from the start: cold, not collapsed
+            fired += cold.observe(
+                _ev(
+                    "engine.heartbeat",
+                    {"batch": i, "items": 8, "hits": 0, "misses": 8,
+                     "memo_hits": 0, "memo_misses": 8 * (i + 1)},
+                    float(i),
+                )
+            )
+        assert fired == []
+
+        warm = HealthMonitor(config)
+        fired = []
+        for i in range(6):  # warm up above cache_warm_rate
+            fired += warm.observe(
+                _ev(
+                    "engine.heartbeat",
+                    {"batch": i, "items": 8, "hits": 7, "misses": 1,
+                     "memo_hits": 0, "memo_misses": 0},
+                    float(i),
+                )
+            )
+        for i in range(6, 14):  # then collapse
+            fired += warm.observe(
+                _ev(
+                    "engine.heartbeat",
+                    {"batch": i, "items": 8, "hits": 0, "misses": 8,
+                     "memo_hits": 0, "memo_misses": 0},
+                    float(i),
+                )
+            )
+        assert [w["detector"] for w in fired] == ["cache_collapse"]
+
+    def test_divergence_spike_warns(self):
+        monitor = HealthMonitor()
+        fired = monitor.observe(
+            _ev("engine.divergence", {"checked": 10, "mismatched": 2}, 0.0)
+        )
+        assert [w["detector"] for w in fired] == ["divergence"]
+
+    def test_bus_attached_monitor_republishes_and_counts(self):
+        events_mod.enable_events()
+        obs.enable()
+        from repro.obs.live import attach_health_monitor
+
+        seen = collect_bus()
+        attached = attach_health_monitor(config=HealthConfig(stagnation_generations=2))
+        bus = events_mod.get_bus()
+        for i in range(8):
+            bus.publish("ga.generation", _gen(i, 50.0)["data"])
+        warnings = [e for e in seen if e["type"] == "health.warning"]
+        assert len(warnings) == 1
+        assert warnings[0]["data"]["detector"] == "stagnation"
+        counters = {
+            d["name"]: d["value"]
+            for d in obs.get_registry().snapshot()
+            if d["kind"] == "counter"
+        }
+        assert counters.get("obs.health.stagnation") == 1
+        attached.close()
+
+
+# ----------------------------------------------------------------------
+# Worker-count invariance
+# ----------------------------------------------------------------------
+#: Event families emitted by deterministic parent-side code: identical
+#: multisets for any worker count.  span.close and metric.delta depend on
+#: the execution shape (pool vs inline) and are excluded by design.
+DETERMINISTIC_TYPES = (
+    "run.start",
+    "run.end",
+    "funnel.stage",
+    "ga.generation",
+    "engine.heartbeat",
+    "engine.fault",
+    "cache.compile",
+)
+
+
+def _normalize(events):
+    out = []
+    for event in events:
+        if event["type"] not in DETERMINISTIC_TYPES:
+            continue
+        data = dict(event["data"])
+        if event["type"] == "run.end":
+            # pool_{tasks,batches} counters depend on pooling; the memo
+            # and compile-cache sections must not.
+            data["cache"] = {
+                k: v
+                for k, v in data.get("cache", {}).items()
+                if k.startswith(("memo_", "compile_cache_"))
+            }
+            data.pop("wall_s", None)
+            data.pop("outcome", None)  # identical latency; checked separately
+        out.append((event["type"], json.dumps(data, sort_keys=True)))
+    return sorted(out)
+
+
+class TestWorkerCountInvariance:
+    def test_event_streams_match_1_vs_4_workers(self, tmp_path):
+        events_mod.enable_events()
+        comp = small_gemm()
+        hw = get_hardware("v100")
+        streams = {}
+        outcomes = {}
+        for n in (1, 4):
+            reset_global_memo()  # identical cache temperature per run
+            events_mod.reset_events()
+            events_mod.enable_events()
+            seen = collect_bus()
+            config = fast_config(
+                n_workers=n, min_pool_batch=1, run_dir=str(tmp_path / f"w{n}")
+            )
+            result = Tuner(hw, config).tune(comp)
+            streams[n] = seen
+            outcomes[n] = result.best_us
+        assert outcomes[1] == outcomes[4]
+        assert _normalize(streams[1]) == _normalize(streams[4])
+        # The pooled run must actually exercise the piggyback protocol:
+        # adopted worker events carry a lane tag and a worker pid.
+        lanes = {e["lane"] for e in streams[4] if e["lane"] is not None}
+        assert lanes, "no worker events were adopted across the pool boundary"
+        worker_pids = {
+            e["pid"] for e in streams[4] if e["lane"] is not None
+        }
+        assert os.getpid() not in worker_pids
+        # Adopted events inherit the run id stamped by the recorder.
+        adopted = [e for e in streams[4] if e["lane"] is not None]
+        assert all(e["run_id"] for e in adopted)
+
+
+# ----------------------------------------------------------------------
+# End-to-end acceptance: --live stream == manifest, watch renders it
+# ----------------------------------------------------------------------
+class TestLiveAcceptance:
+    def test_live_tune_stream_matches_manifest_and_watch_renders(
+        self, tmp_path, capsys
+    ):
+        run_dir = tmp_path / "runs"
+        code = cli_main(
+            [
+                "compile",
+                "GMM",
+                "--hardware",
+                "v100",
+                "--quick",
+                "--quiet",
+                "--workers",
+                "2",
+                "--params",
+                "m=64",
+                "n=64",
+                "k=64",
+                "--run-dir",
+                str(run_dir),
+                "--live",
+            ]
+        )
+        assert code == 0
+        streams = list(run_dir.glob("events_*.jsonl"))
+        assert len(streams) == 1
+        events, skipped = load_events(streams[0])
+        assert skipped == 0
+        assert events, "no events streamed"
+        for event in events:
+            assert validate_event(event) == [], event
+        # One run, consistently stamped.
+        run_ids = {e["run_id"] for e in events if e["run_id"]}
+        assert len(run_ids) == 1
+        assert events[0]["type"] == "run.start"
+        assert events[-1]["type"] == "run.end"
+
+        runs = load_runs(run_dir)
+        assert len(runs) == 1
+        manifest = runs[0]
+        assert manifest.run_id in run_ids
+        state = WatchState().apply_all(events)
+        # Cumulative stream counters == manifest sections, to the digit.
+        assert state.funnel == manifest.funnel
+        assert state.memo_hits == manifest.cache["memo_hits"]
+        assert state.memo_misses == manifest.cache["memo_misses"]
+        assert dict(state.faults) == manifest.faults
+        assert state.ended is not None and state.ended["status"] == "ok"
+
+        dashboard = render_dashboard(state)
+        assert "gemm on v100" in dashboard
+        assert "mapping funnel" in dashboard
+
+        code = cli_main(["watch", str(run_dir), "--once", "--validate"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro watch" in out
+        assert "all schema-valid" in out
+
+    def test_live_requires_run_dir(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["compile", "GMM", "--quick", "--live"])
+
+    def test_watch_missing_source_fails(self, tmp_path, capsys):
+        assert cli_main(["watch", str(tmp_path / "nope"), "--once"]) == 1
+
+
+# ----------------------------------------------------------------------
+# Watch state + dashboard on synthetic streams
+# ----------------------------------------------------------------------
+class TestWatch:
+    def test_state_eta_during_search(self):
+        state = WatchState()
+        state.apply(
+            _ev(
+                "run.start",
+                {
+                    "kind": "tune",
+                    "operator": "gemm",
+                    "hardware": "v100",
+                    "budget": {"generations": 4},
+                },
+                0.0,
+            )
+        )
+        state.apply(_gen(0, 10.0, t_wall=10.0))
+        state.apply(_gen(1, 9.0, t_wall=20.0))
+        eta = state.eta_s(now_wall=20.0)
+        assert eta == pytest.approx(30.0)  # 3 remaining observes * 10s/gen
+        state.apply(_ev("run.end", {"status": "ok"}, 25.0))
+        assert state.eta_s(now_wall=25.0) is None
+
+    def test_invalid_events_counted_not_fatal(self):
+        state = WatchState()
+        state.apply({"type": "garbage"})
+        state.apply(_gen(0, 1.0))
+        assert state.invalid_events == 1
+        assert state.events_seen == 1
+        assert "generation" in render_dashboard(state)
+
+    def test_dashboard_sections_render(self):
+        state = WatchState()
+        state.apply(
+            _ev(
+                "run.start",
+                {"kind": "tune", "operator": "gemm", "hardware": "v100", "budget": {}},
+                0.0,
+            )
+        )
+        state.apply(_ev("funnel.stage", {"stage": "enumerated", "count": 24, "total": 24}, 1.0))
+        state.apply(
+            _ev(
+                "engine.heartbeat",
+                {"batch": 1, "items": 8, "hits": 2, "misses": 6,
+                 "memo_hits": 2, "memo_misses": 6},
+                2.0,
+            )
+        )
+        state.apply(_ev("engine.fault", {"name": "retries", "amount": 3}, 3.0))
+        state.apply(
+            _ev("health.warning", {"detector": "stagnation", "message": "stuck"}, 4.0)
+        )
+        dashboard = render_dashboard(state, now_wall=5.0)
+        assert "enumerated" in dashboard
+        assert "25.0%" in dashboard  # memo hit rate 2/8
+        assert "retries=3" in dashboard
+        assert "WARNING [stagnation]" in dashboard
+
+
+# ----------------------------------------------------------------------
+# Satellite: load_runs resilience
+# ----------------------------------------------------------------------
+class TestLoadRunsResilience:
+    def test_skips_unreadable_and_wrong_shaped_manifests(self, tmp_path):
+        stream = io.StringIO()
+        logging_mod.set_log_stream(stream)
+        good = RunRecord(run_id="ok1", created_at="2026-08-07T00:00:00+00:00")
+        write_run(good, tmp_path)
+        (tmp_path / "run_torn.json").write_text('{"schema": 1, "run_id": ')
+        (tmp_path / "run_badtype.json").write_text(
+            json.dumps({"schema": 1, "created_at": 123, "funnel": "not-a-dict"})
+        )
+        (tmp_path / "run_wrong_schema.json").write_text(json.dumps({"schema": 99}))
+        records = load_runs(tmp_path)
+        assert [r.run_id for r in records] == ["ok1"]
+        warnings = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert any(w["msg"] == "skipping unreadable run manifest" for w in warnings)

@@ -24,3 +24,4 @@ test_obs_disabled_overhead_under_5_percent = (
 test_obs_disabled_overhead_parallel_under_5_percent = (
     _bench.test_obs_disabled_overhead_parallel_under_5_percent
 )
+test_enabled_bus_overhead_reported = _bench.test_enabled_bus_overhead_reported
