@@ -1,7 +1,7 @@
 """Benchmark: the vectorized batch-evaluation path (feature tables +
-``batch_predict`` / ``batch_simulate``).
+``batch_predict`` / ``batch_simulate``) and the array-native GA loop.
 
-Two measurements, written to ``benchmarks/results/BENCH_batch_eval.json``:
+Measurements, written to ``benchmarks/results/BENCH_batch_eval.json``:
 
 1. **batch fitness throughput** — one GA-generation-shaped batch of
    schedule candidates pushed through ``EvaluationEngine`` with
@@ -10,9 +10,20 @@ Two measurements, written to ``benchmarks/results/BENCH_batch_eval.json``:
    compared, not the pool).  The array path must deliver at least **5x
    candidates/sec** on the model-only fitness batch, and the results of
    the two paths must be bit-identical.
-2. **tune wall time before/after** — the same full ``Tuner.tune`` run
+2. **end-to-end GA-loop throughput** — a whole ``genetic_search_rows``
+   run (breed + dedup + memo keys + predict, cold memo each repetition)
+   against the per-candidate object loop on the same budget.  The array
+   loop must deliver at least **5x candidates/sec** and the identical
+   ranked output (the bit-identity oracle contract).  The batched
+   object loop (``fitness_many``, still object-keyed) is reported too,
+   as the intermediate point.
+3. **tune wall time before/after** — the same full ``Tuner.tune`` run
    with the scalar and the vectorized engine.  Identical results (the
    flag is an execution knob), wall-clock reported for both.
+4. **describe memo note** — ``Schedule.describe()`` is memoized on
+   first render; the micro-benchmark records the cold render vs the
+   memoized re-read, the win every memo key / dedup key / jitter
+   encoding touch of the same immutable schedule collects.
 
 Runnable standalone (``python benchmarks/bench_batch_eval.py
 [--quick]``) and re-exported by ``tests/test_batch_eval_bench.py`` so
@@ -31,13 +42,19 @@ import time
 
 from repro.engine import EvaluationEngine, MemoCache
 from repro.engine.cache import reset_global_memo
+from repro.explore.genetic import (
+    Candidate,
+    GeneticConfig,
+    genetic_search,
+    genetic_search_rows,
+)
 from repro.explore.tuner import Tuner, TunerConfig
 from repro.frontends.operators import make_operator
 from repro.isa.registry import intrinsics_for_target
 from repro.mapping.generation import GenerationOptions, enumerate_mappings
 from repro.mapping.physical import lower_to_physical
 from repro.model import get_hardware
-from repro.schedule.space import ScheduleSpace
+from repro.schedule.space import ScheduleSpace, default_schedule
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 RESULT_FILE = "BENCH_batch_eval.json"
@@ -48,6 +65,13 @@ RESULT_FILE = "BENCH_batch_eval.json"
 FITNESS_BATCH = 256
 FITNESS_REPEATS = 5
 MIN_FITNESS_SPEEDUP = 5.0
+
+#: GA-loop budget for the end-to-end throughput section — a population
+#: large enough that the loop machinery (breed/dedup/keys), not constant
+#: per-call overhead, dominates, as the paper's Table 6 spaces imply.
+GA_LOOP_CONFIG = GeneticConfig(population=256, generations=8, seed=0)
+GA_LOOP_REPEATS = 3
+MIN_GA_LOOP_SPEEDUP = 5.0
 
 QUICK_CONFIG = TunerConfig(
     population=8,
@@ -128,6 +152,120 @@ def run_fitness_throughput() -> dict:
     return report
 
 
+def _ga_context(comp, hw, physical):
+    max_warps = hw.max_warps_per_subcore * hw.subcores_per_core
+    spaces = [
+        ScheduleSpace(pm, max_warps_per_block=max_warps) for pm in physical
+    ]
+    seeds = [
+        Candidate(i, default_schedule(pm, max_warps_per_block=max_warps))
+        for i, pm in enumerate(physical)
+    ]
+    return spaces, seeds
+
+
+def _ranked_fingerprint(pairs):
+    return [
+        (c.mapping_index, c.schedule.describe(), cost) for c, cost in pairs
+    ]
+
+
+def run_ga_loop_throughput() -> dict:
+    """One whole GA run — breed + dedup + memo keys + predict — as rows
+    vs as per-candidate objects, cold memo each repetition."""
+    comp, hw, physical = _context()
+    spaces, seeds = _ga_context(comp, hw, physical)
+    cfg = GA_LOOP_CONFIG
+
+    def timed(run):
+        best_s, result = float("inf"), None
+        for _ in range(GA_LOOP_REPEATS):
+            with EvaluationEngine(
+                comp, physical, hw, n_workers=1, memo=MemoCache()
+            ) as engine:
+                start = time.perf_counter()
+                result = run(engine)
+                best_s = min(best_s, time.perf_counter() - start)
+        return best_s, result
+
+    rows_s, rows_result = timed(
+        lambda engine: genetic_search_rows(
+            physical, engine.predict_rows, cfg, seeds=seeds, spaces=spaces
+        )
+    )
+    ranked_rows = rows_result.candidates(spaces)
+    # The PR-3-shaped baseline: every candidate bred, keyed and scored
+    # one Python object at a time.
+    percand_s, ranked_percand = timed(
+        lambda engine: genetic_search(
+            physical,
+            fitness=lambda c: engine.predict_many(
+                [(c.mapping_index, c.schedule)]
+            )[0],
+            config=cfg,
+            seeds=seeds,
+            spaces=spaces,
+        )
+    )
+    # Intermediate point: object loop, but generation-batched evaluation.
+    batched_s, ranked_batched = timed(
+        lambda engine: genetic_search(
+            physical,
+            config=cfg,
+            seeds=seeds,
+            spaces=spaces,
+            fitness_many=lambda cs: engine.predict_many(
+                [(c.mapping_index, c.schedule) for c in cs]
+            ),
+        )
+    )
+
+    evaluated = len(ranked_rows)
+    return {
+        "population": cfg.population,
+        "generations": cfg.generations,
+        "candidates_evaluated": evaluated,
+        "rows_cand_per_s": evaluated / rows_s,
+        "object_per_candidate_cand_per_s": evaluated / percand_s,
+        "object_batched_cand_per_s": evaluated / batched_s,
+        "rows_wall_s": rows_s,
+        "object_per_candidate_wall_s": percand_s,
+        "object_batched_wall_s": batched_s,
+        "speedup_vs_per_candidate": percand_s / rows_s if rows_s else 0.0,
+        "speedup_vs_batched_objects": batched_s / rows_s if rows_s else 0.0,
+        "identical": (
+            _ranked_fingerprint(ranked_rows)
+            == _ranked_fingerprint(ranked_percand)
+            == _ranked_fingerprint(ranked_batched)
+        ),
+    }
+
+
+def run_describe_memo_note() -> dict:
+    """Micro-benchmark note: Schedule.describe() cold render vs the
+    memoized re-read (the schedule is immutable, so every later touch —
+    memo key, dedup key, jitter string — is the memoized path)."""
+    comp, hw, physical = _context()
+    spaces, _ = _ga_context(comp, hw, physical)
+    rng = random.Random(99)
+    schedules = [spaces[0].sample(rng) for _ in range(512)]
+
+    start = time.perf_counter()
+    for s in schedules:
+        s.describe()
+    cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    for s in schedules:
+        s.describe()
+    memo_s = time.perf_counter() - start
+    return {
+        "schedules": len(schedules),
+        "cold_render_us_each": cold_s / len(schedules) * 1e6,
+        "memoized_us_each": memo_s / len(schedules) * 1e6,
+        "speedup": cold_s / memo_s if memo_s else float("inf"),
+    }
+
+
 def _timed_tune(comp, config: TunerConfig) -> tuple[float, object]:
     reset_global_memo()
     tuner = Tuner(get_hardware("v100"), config)
@@ -177,6 +315,8 @@ def run_bench(quick: bool) -> dict:
     report = {
         "quick": quick,
         "fitness_throughput": run_fitness_throughput(),
+        "ga_loop": run_ga_loop_throughput(),
+        "describe_memo": run_describe_memo_note(),
         "tune": run_tune_comparison(quick),
     }
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -198,6 +338,20 @@ def check_bench(report: dict) -> None:
         f"got {fitness['fitness']['speedup']:.2f}x"
     )
 
+    ga_loop = report["ga_loop"]
+    assert ga_loop["identical"], (
+        f"array-native GA ranking diverged from the object oracle: {ga_loop}"
+    )
+    assert ga_loop["speedup_vs_per_candidate"] >= MIN_GA_LOOP_SPEEDUP, (
+        f"GA loop must be >= {MIN_GA_LOOP_SPEEDUP}x the per-candidate loop, "
+        f"got {ga_loop['speedup_vs_per_candidate']:.2f}x"
+    )
+
+    memo = report["describe_memo"]
+    assert memo["speedup"] >= 2.0, (
+        f"memoized describe() should beat a fresh render handily: {memo}"
+    )
+
     tune = report["tune"]
     assert tune["identical"], (
         f"the vectorized flag changed the tune result: {tune}"
@@ -214,12 +368,20 @@ def test_batch_eval_bench_quick():
     report = run_bench(quick=True)
     check_bench(report)
     fitness, tune = report["fitness_throughput"], report["tune"]
+    ga_loop, memo = report["ga_loop"], report["describe_memo"]
     print(
         f"\nfitness batch ({fitness['batch_size']} candidates): "
         f"vectorized {fitness['fitness']['vectorized_cand_per_s']:,.0f} cand/s, "
         f"scalar {fitness['fitness']['scalar_cand_per_s']:,.0f} cand/s "
         f"({fitness['fitness']['speedup']:.1f}x); "
         f"measured pass {fitness['measured']['speedup']:.1f}x"
+        f"\nGA loop ({ga_loop['candidates_evaluated']} evaluated): "
+        f"rows {ga_loop['rows_cand_per_s']:,.0f} cand/s, per-candidate "
+        f"{ga_loop['object_per_candidate_cand_per_s']:,.0f} cand/s "
+        f"({ga_loop['speedup_vs_per_candidate']:.1f}x; "
+        f"{ga_loop['speedup_vs_batched_objects']:.1f}x vs batched objects)"
+        f"\ndescribe memo: {memo['cold_render_us_each']:.2f}us cold vs "
+        f"{memo['memoized_us_each']:.3f}us memoized ({memo['speedup']:.0f}x)"
         f"\ntune {tune['workload']}: scalar {tune['scalar']['wall_s']:.3f}s, "
         f"vectorized {tune['vectorized']['wall_s']:.3f}s "
         f"({tune['speedup']:.2f}x, identical={tune['identical']})"

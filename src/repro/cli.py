@@ -134,6 +134,8 @@ def _tuner_config(args) -> TunerConfig:
     budget = QUICK_BUDGET if args.quick else {}
     return TunerConfig(
         seed=args.seed,
+        elite_fraction=args.elite_fraction,
+        mapping_mutation_prob=args.mapping_mutation_prob,
         n_workers=args.workers,
         cache_dir=args.cache_dir,
         run_dir=args.run_dir,
@@ -142,6 +144,25 @@ def _tuner_config(args) -> TunerConfig:
         max_retries=args.max_retries,
         **budget,
     )
+
+
+def _unit_fraction(lo_open: bool):
+    """Argparse type for a fraction in ``(0, 1]`` (``lo_open``) or
+    ``[0, 1]``: rejects out-of-range values at parse time, before they
+    can silently distort the GA's selection pressure."""
+
+    def parse(text: str) -> float:
+        try:
+            value = float(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+        low_ok = value > 0.0 if lo_open else value >= 0.0
+        if not (low_ok and value <= 1.0):
+            bounds = "(0, 1]" if lo_open else "[0, 1]"
+            raise argparse.ArgumentTypeError(f"{value} not in {bounds}")
+        return value
+
+    return parse
 
 
 @contextlib.contextmanager
@@ -309,6 +330,23 @@ def _cmd_watch(args) -> int:
 def _add_tuning_flags(p: argparse.ArgumentParser) -> None:
     """Flags shared by every tuning entry point (compile/profile/network)."""
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--elite-fraction",
+        type=_unit_fraction(lo_open=True),
+        default=0.25,
+        metavar="F",
+        help="fraction of each GA generation kept as elite, in (0, 1] "
+        "(budget knob: part of the tuner-config fingerprint)",
+    )
+    p.add_argument(
+        "--mapping-mutation-prob",
+        type=_unit_fraction(lo_open=False),
+        default=0.15,
+        metavar="P",
+        help="per-child probability of re-drawing the mapping instead of "
+        "mutating the parent's schedule, in [0, 1] (budget knob: part "
+        "of the tuner-config fingerprint)",
+    )
     p.add_argument(
         "--workers",
         type=int,

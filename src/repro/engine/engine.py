@@ -2,7 +2,9 @@
 
 :class:`EvaluationEngine` is the single funnel through which the tuner
 evaluates candidates.  Callers hand it batches of ``(mapping_index,
-schedule)`` items; the engine
+schedule)`` items — or, on the row entry points ``predict_rows`` /
+``measure_rows``, a :class:`ScheduleBatch` of raw rows plus a per-row
+mapping-index vector, with no per-candidate objects at all; the engine
 
 1. computes each item's canonical candidate key (fingerprints of the
    computation, hardware, mapping, plus the schedule descriptor),
@@ -18,8 +20,13 @@ arrays (sharing the ``describe()`` strings already rendered for the memo
 keys) and evaluated through ``batch_predict`` / ``batch_simulate``.  On
 the pool the groups ship as array chunks — feature tables are rebuilt
 worker-side from the context, so no per-candidate objects cross the
-process boundary.  The batch evaluators are bit-identical to the scalar
-ones (``vectorized=False``), so the flag is an execution knob, never a
+process boundary.  Row batches go further: memo keys are raw column
+bytes (:func:`candidate_row_prefix`) computed for the whole batch in
+one pass, chunks are contiguous row *slices* of the caller's arrays
+(``describes=None``; the describe string is rendered lazily only where
+a jitter key needs it), and results come back as float64 arrays.  The
+batch evaluators are bit-identical to the scalar ones
+(``vectorized=False``), so the flag is an execution knob, never a
 results knob.
 
 Determinism is the design invariant: all evaluators are pure functions
@@ -54,11 +61,14 @@ import os
 import zlib
 from typing import Sequence
 
+import numpy as np
+
 from repro.engine.cache import MemoCache, global_memo
 from repro.engine.faults import FaultPlan, FaultPolicy, fresh_fault_stats
 from repro.engine.fingerprint import (
     candidate_key,
     candidate_key_from_describe,
+    candidate_row_prefix,
     computation_fingerprint,
     hardware_fingerprint,
     mapping_fingerprint,
@@ -72,7 +82,14 @@ from repro.model.perf_model import predict_latency
 from repro.obs import events as _obs_events
 from repro.obs import metrics as _obs_metrics
 from repro.obs.trace import span as _obs_span
-from repro.schedule.features import MappingFeatures, derive_batch, encode_schedules
+from repro.schedule.features import (
+    MappingFeatures,
+    ScheduleBatch,
+    derive_batch,
+    encode_schedules,
+    schedules_from_rows,
+    take_rows,
+)
 from repro.schedule.lowering import lower_schedule
 from repro.schedule.schedule import Schedule
 from repro.sim.batch_timing import batch_simulate
@@ -143,6 +160,8 @@ class EvaluationEngine:
         # (a tune run touches a prefiltered subset) and kept for the
         # engine's lifetime.
         self._features: dict[int, MappingFeatures] = {}
+        #: Per-mapping byte prefixes of the row memo keys (lazy, cached).
+        self._row_prefixes: dict[int, bytes] = {}
 
     # ------------------------------------------------------------------
     def key_of(self, mapping_index: int, schedule: Schedule) -> str:
@@ -159,6 +178,102 @@ class EvaluationEngine:
     ) -> list[tuple[float, float]]:
         """(predicted_us, measured_us) pairs for a batch, in order."""
         return [(p, m) for p, m in self._evaluate(items, measure=True)]
+
+    # -- row entry points -----------------------------------------------
+    def predict_rows(
+        self, mapping_indices: np.ndarray | Sequence[int], batch: ScheduleBatch
+    ) -> np.ndarray:
+        """Model predictions (us) for batch rows, in row order.
+
+        The row-native twin of :meth:`predict_many`: the caller hands
+        rows (a :class:`ScheduleBatch`, possibly padded to a joint
+        width, plus a per-row mapping index) instead of per-candidate
+        ``(mapping_index, Schedule)`` objects.  Memo keys are computed
+        for the whole batch in one pass (:meth:`row_keys`) and no
+        ``describe()`` string is rendered except lazily for memo-miss
+        rows that reach the simulator's jitter encoding.
+        """
+        predicted, _ = self._evaluate_rows(mapping_indices, batch, measure=False)
+        return predicted
+
+    def measure_rows(
+        self, mapping_indices: np.ndarray | Sequence[int], batch: ScheduleBatch
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(predicted_us, measured_us) arrays for batch rows, in order."""
+        predicted, measured = self._evaluate_rows(
+            mapping_indices, batch, measure=True
+        )
+        assert measured is not None
+        return predicted, measured
+
+    def _row_prefix(self, mapping_index: int) -> bytes:
+        prefix = self._row_prefixes.get(mapping_index)
+        if prefix is None:
+            prefix = candidate_row_prefix(
+                self.comp_fp, self.hw_fp, self.mapping_fps[mapping_index]
+            )
+            self._row_prefixes[mapping_index] = prefix
+        return prefix
+
+    def row_keys(
+        self, mapping_indices: np.ndarray, batch: ScheduleBatch
+    ) -> list[bytes]:
+        """Canonical memo keys of batch rows, computed in one pass.
+
+        Per mapping: the cached :func:`candidate_row_prefix` plus the raw
+        int64 bytes of the row's width-trimmed columns.  Trimming to the
+        mapping's own ``n_spatial`` (populations are padded to the widest
+        mapping's width with identity splits) keeps a schedule's key
+        independent of the batch it rides in.
+        """
+        n = len(batch)
+        keys: list[bytes] = [b""] * n
+        for mi in np.unique(mapping_indices):
+            mi = int(mi)
+            rows = np.nonzero(mapping_indices == mi)[0]
+            d = len(self.features_of(mi).spatial_names)
+            cols = np.column_stack(
+                (
+                    batch.warp[rows, :d],
+                    batch.seq[rows, :d],
+                    batch.reduce_stage[rows],
+                    batch.double_buffer[rows].astype(np.int64),
+                    batch.unroll[rows],
+                    batch.vectorize[rows],
+                )
+            )
+            raw = np.ascontiguousarray(cols).tobytes()
+            stride = cols.shape[1] * 8
+            prefix = self._row_prefix(mi)
+            for k, pos in enumerate(rows):
+                keys[pos] = prefix + raw[k * stride : (k + 1) * stride]
+        return keys
+
+    # ------------------------------------------------------------------
+    def _record_batch_stats(
+        self, n_items: int, hits: int, misses: int, measure: bool
+    ) -> None:
+        _obs_metrics.counter("engine.cache.hit").inc(hits)
+        _obs_metrics.counter("engine.cache.miss").inc(misses)
+        self._batch_seq += 1
+        self._memo_hits += hits
+        self._memo_misses += misses
+        if _obs_events._enabled:
+            # Per-batch hits/misses mirror the engine.cache.{hit,miss}
+            # counter increments exactly, so the stream's cumulative sums
+            # equal the run manifest's cache section.
+            _obs_events.get_bus().publish(
+                "engine.heartbeat",
+                {
+                    "batch": self._batch_seq,
+                    "items": n_items,
+                    "hits": hits,
+                    "misses": misses,
+                    "measure": measure,
+                    "memo_hits": self._memo_hits,
+                    "memo_misses": self._memo_misses,
+                },
+            )
 
     # ------------------------------------------------------------------
     def _evaluate(
@@ -198,27 +313,7 @@ class EvaluationEngine:
             miss_positions.append(pos)
 
         hits = len(items) - len(miss_positions) - len(duplicate_of)
-        _obs_metrics.counter("engine.cache.hit").inc(hits)
-        _obs_metrics.counter("engine.cache.miss").inc(len(miss_positions))
-        self._batch_seq += 1
-        self._memo_hits += hits
-        self._memo_misses += len(miss_positions)
-        if _obs_events._enabled:
-            # Per-batch hits/misses mirror the engine.cache.{hit,miss}
-            # counter increments exactly, so the stream's cumulative sums
-            # equal the run manifest's cache section.
-            _obs_events.get_bus().publish(
-                "engine.heartbeat",
-                {
-                    "batch": self._batch_seq,
-                    "items": len(items),
-                    "hits": hits,
-                    "misses": len(miss_positions),
-                    "measure": measure,
-                    "memo_hits": self._memo_hits,
-                    "memo_misses": self._memo_misses,
-                },
-            )
+        self._record_batch_stats(len(items), hits, len(miss_positions), measure)
 
         with _obs_span(
             "engine.batch",
@@ -259,6 +354,106 @@ class EvaluationEngine:
             measurements[pos] = measurements[src]
         return list(zip(predictions, measurements))
 
+    def _evaluate_rows(
+        self,
+        mapping_indices: np.ndarray | Sequence[int],
+        batch: ScheduleBatch,
+        measure: bool,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Row-native twin of :meth:`_evaluate`: same memo discipline,
+        same dedup, same dispatch — keyed by row bytes instead of
+        describe strings, returning float64 arrays in row order."""
+        n = len(batch)
+        if n == 0:
+            empty = np.empty(0, dtype=np.float64)
+            return empty, (np.empty(0, dtype=np.float64) if measure else None)
+        mapping_indices = np.asarray(mapping_indices, dtype=np.int64)
+        keys = self.row_keys(mapping_indices, batch)
+        predictions: list[float | None] = [self.memo.get_prediction(k) for k in keys]
+        measurements: list[float | None] = [
+            self.memo.get_measurement(k) if measure else None for k in keys
+        ]
+
+        miss_positions: list[int] = []
+        first_position: dict[bytes, int] = {}
+        duplicate_of: dict[int, int] = {}
+        for pos, key in enumerate(keys):
+            missing = predictions[pos] is None or (measure and measurements[pos] is None)
+            if not missing:
+                continue
+            if key in first_position:
+                duplicate_of[pos] = first_position[key]
+                continue
+            first_position[key] = pos
+            miss_positions.append(pos)
+
+        hits = n - len(miss_positions) - len(duplicate_of)
+        self._record_batch_stats(n, hits, len(miss_positions), measure)
+
+        with _obs_span(
+            "engine.batch",
+            items=n,
+            misses=len(miss_positions),
+            measure=measure,
+        ) as batch_span:
+            use_pool = (
+                self.n_workers > 1 and len(miss_positions) >= self.min_pool_batch
+            )
+            batch_span.set(pooled=use_pool, vectorized=self.vectorized, rows=True)
+            if self.vectorized:
+                results = self._batch_evaluate_rows(
+                    miss_positions, mapping_indices, batch, measure, use_pool
+                )
+            else:
+                # Scalar fallback: decode the miss rows into Schedule
+                # objects and reuse the per-candidate paths unchanged.
+                items = list(
+                    zip(
+                        (int(mapping_indices[pos]) for pos in miss_positions),
+                        self._decode_rows(mapping_indices, batch, miss_positions),
+                    )
+                )
+                if use_pool:
+                    results = self._pool_evaluate(items, measure)
+                else:
+                    results = [
+                        self._inline_evaluate(item, measure) for item in items
+                    ]
+
+        if self.vectorized and self.divergence_rate > 0.0 and miss_positions:
+            self._watchdog_rows(
+                miss_positions, mapping_indices, batch, keys, results, measure
+            )
+
+        for pos, (predicted, measured) in zip(miss_positions, results):
+            key = keys[pos]
+            predictions[pos] = predicted
+            self.memo.put_prediction(key, predicted)
+            if measure:
+                measurements[pos] = measured
+                self.memo.put_measurement(key, measured)
+        for pos, src in duplicate_of.items():
+            predictions[pos] = predictions[src]
+            measurements[pos] = measurements[src]
+        predicted_arr = np.array(predictions, dtype=np.float64)
+        measured_arr = np.array(measurements, dtype=np.float64) if measure else None
+        return predicted_arr, measured_arr
+
+    def _decode_rows(
+        self,
+        mapping_indices: np.ndarray,
+        batch: ScheduleBatch,
+        positions: Sequence[int],
+    ) -> list[Schedule]:
+        """Materialize Schedule objects for selected rows (scalar
+        fallback and watchdog oracle); each row decodes against its own
+        mapping's spatial names, ignoring joint-width padding columns."""
+        out: list[Schedule] = []
+        for pos in positions:
+            names = self.features_of(int(mapping_indices[pos])).spatial_names
+            out.extend(schedules_from_rows(names, batch, [pos]))
+        return out
+
     def _watchdog(
         self,
         miss_positions: list[int],
@@ -298,6 +493,44 @@ class EvaluationEngine:
                     oracle=list(oracle),
                 ):
                     pass
+        self._record_divergence(checked, mismatched)
+
+    def _watchdog_rows(
+        self,
+        miss_positions: list[int],
+        mapping_indices: np.ndarray,
+        batch: ScheduleBatch,
+        keys: list[bytes],
+        results: list[tuple[float, float | None]],
+        measure: bool,
+    ) -> None:
+        """Row-path divergence watchdog: same contract as
+        :meth:`_watchdog`, with the deterministic sample drawn from the
+        raw row-key bytes and the scalar oracle's Schedule decoded on
+        demand — only for the sampled rows, never the whole batch.
+        """
+        threshold = int(self.divergence_rate * 0x100000000)
+        checked = 0
+        mismatched = 0
+        for pos, result in zip(miss_positions, results):
+            if zlib.crc32(keys[pos]) >= threshold:
+                continue
+            checked += 1
+            mi = int(mapping_indices[pos])
+            (schedule,) = self._decode_rows(mapping_indices, batch, [pos])
+            oracle = self._inline_evaluate((mi, schedule), measure)
+            if oracle != result:
+                mismatched += 1
+                with _obs_span(
+                    "engine.divergence.mismatch",
+                    key=repr(keys[pos]),
+                    batch=list(result),
+                    oracle=list(oracle),
+                ):
+                    pass
+        self._record_divergence(checked, mismatched)
+
+    def _record_divergence(self, checked: int, mismatched: int) -> None:
         self.divergence_stats["checked"] += checked
         self.divergence_stats["mismatched"] += mismatched
         _obs_metrics.counter("engine.divergence.checked").inc(checked)
@@ -344,9 +577,56 @@ class EvaluationEngine:
 
         Returns results aligned with ``miss_positions``.
         """
+        return self._eval_grouped(
+            miss_positions,
+            measure,
+            use_pool,
+            mapping_of=lambda pos: items[pos][0],
+            batch_of=lambda mi, positions: encode_schedules(
+                self.features_of(mi),
+                [items[pos][1] for pos in positions],
+                [describes[pos] for pos in positions],
+            ),
+        )
+
+    def _batch_evaluate_rows(
+        self,
+        miss_positions: list[int],
+        mapping_indices: np.ndarray,
+        batch: ScheduleBatch,
+        measure: bool,
+        use_pool: bool,
+    ) -> list[tuple[float, float | None]]:
+        """Row-path :meth:`_batch_evaluate`: each chunk is a zero-copy
+        contiguous row slice of the incoming batch (width-trimmed to its
+        mapping, ``describes=None``) — no per-candidate objects are built
+        and nothing but ndarray buffers crosses the pool boundary."""
+        return self._eval_grouped(
+            miss_positions,
+            measure,
+            use_pool,
+            mapping_of=lambda pos: int(mapping_indices[pos]),
+            batch_of=lambda mi, positions: take_rows(
+                batch, positions, width=len(self.features_of(mi).spatial_names)
+            ),
+        )
+
+    def _eval_grouped(
+        self,
+        miss_positions: list[int],
+        measure: bool,
+        use_pool: bool,
+        mapping_of,
+        batch_of,
+    ) -> list[tuple[float, float | None]]:
+        """Shared grouped dispatch of both batch paths: group the misses
+        by mapping (``mapping_of(pos)``), chunk, encode each chunk as a
+        ScheduleBatch (``batch_of(mapping_index, positions)``), evaluate
+        on the pool or inline, reassemble aligned with ``miss_positions``.
+        """
         groups: dict[int, list[int]] = {}
         for pos in miss_positions:
-            groups.setdefault(items[pos][0], []).append(pos)
+            groups.setdefault(mapping_of(pos), []).append(pos)
 
         # Each chunk is one parallel work unit; aim for ~4 per worker as
         # the scalar pool path does so stragglers even out.
@@ -360,15 +640,7 @@ class EvaluationEngine:
                 chunks.append((mapping_index, positions[start : start + target]))
 
         payload = [
-            (
-                mapping_index,
-                encode_schedules(
-                    self.features_of(mapping_index),
-                    [items[pos][1] for pos in positions],
-                    [describes[pos] for pos in positions],
-                ),
-                measure,
-            )
+            (mapping_index, batch_of(mapping_index, positions), measure)
             for mapping_index, positions in chunks
         ]
         if use_pool:
@@ -378,8 +650,8 @@ class EvaluationEngine:
             chunk_results = self._pool.evaluate_groups(payload)
         else:
             chunk_results = [
-                self._eval_batch_inline(features_index, batch, m)
-                for features_index, batch, m in payload
+                self._eval_batch_inline(features_index, chunk_batch, m)
+                for features_index, chunk_batch, m in payload
             ]
 
         by_position: dict[int, tuple[float, float | None]] = {}

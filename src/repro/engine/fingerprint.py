@@ -41,6 +41,7 @@ from repro.schedule.schedule import Schedule
 __all__ = [
     "candidate_key",
     "candidate_key_from_describe",
+    "candidate_row_prefix",
     "computation_fingerprint",
     "hardware_fingerprint",
     "mapping_fingerprint",
@@ -101,11 +102,29 @@ def candidate_key_from_describe(
     return f"{comp_fp}|{hw_fp}|{mapping_fp}|{describe}"
 
 
+def candidate_row_prefix(comp_fp: str, hw_fp: str, mapping_fp: str) -> bytes:
+    """Per-mapping prefix of the *row* memo keys used by the engine's
+    batch entry points (``predict_rows`` / ``measure_rows``).
+
+    A row key is this prefix plus the raw int64 bytes of the row's
+    width-trimmed columns (warp, seq, reduce_stage, double_buffer,
+    unroll, vectorize) — computable for a whole batch in one pass with
+    no ``describe()`` rendering.  The ``|r:`` tag (and the str/bytes
+    type split) keeps row keys and describe-string keys from ever
+    colliding in a shared :class:`~repro.engine.cache.MemoCache`; rows
+    canonically mean "every split present", which is why the column
+    bytes alone identify the schedule.
+    """
+    return f"{comp_fp}|{hw_fp}|{mapping_fp}|r:".encode()
+
+
 #: TunerConfig fields that change exploration *results*; everything else
 #: (worker counts, cache locations) only changes execution speed.
 _BUDGET_FIELDS = (
     "population",
     "generations",
+    "elite_fraction",
+    "mapping_mutation_prob",
     "measure_top",
     "prefilter_mappings",
     "refine_rounds",

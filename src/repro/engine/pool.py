@@ -15,7 +15,11 @@ ScheduleBatch, measure)`` — one mapping's schedules encoded as numpy
 arrays — and workers evaluate the whole chunk through
 ``batch_predict`` / ``batch_simulate``, rebuilding (and caching) the
 mapping's :class:`MappingFeatures` table on first use.  No per-candidate
-objects ever cross the process boundary on that path.
+objects ever cross the process boundary on that path.  Row-native chunks
+(from the engine's ``predict_rows`` / ``measure_rows``) are the same
+shape with ``describes=None``: plain contiguous ndarray buffers, no
+strings at all — workers render the describe half of each jitter key
+lazily inside ``batch_simulate`` for exactly the rows that need it.
 
 **Failure is routine.**  Every task crosses the boundary as ``(ordinal,
 attempt, item)`` and comes back as a structured outcome — ``("ok",

@@ -6,19 +6,45 @@ fittest, and mutates their schedules (and occasionally re-draws the
 mapping) to produce the next generation.  Measurements on the "hardware"
 (our cycle simulator) are reserved for the model-selected top candidates,
 mirroring how AMOS limits expensive on-device runs.
+
+Array-native exploration: the population's native currency is a
+:class:`~repro.schedule.features.ScheduleBatch` (structure-of-arrays
+rows padded to the widest mapping's spatial width) plus a mapping-index
+vector — selection, elitism, schedule mutation and mapping re-draw are
+numpy column operations, and per-row byte keys replace describe-string
+keys for dedup.  Every stochastic decision decodes *pre-drawn uniform
+matrices* from one seeded ``numpy.random.Generator`` with a **fixed
+uniform budget per decision** (see :mod:`repro.schedule.space`), which
+is what makes the scalar object path (``arrays=False`` /
+:func:`genetic_search`) a bit-identical oracle: both paths draw the
+same matrices and decode them with independent implementations, so the
+ranked output, the archive order and every tie-break agree exactly.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Callable, Sequence
+
+import numpy as np
 
 from repro.mapping.physical import PhysicalMapping
 from repro.obs import events as _events
 from repro.obs.explore_log import generation_stats
+from repro.schedule.features import ScheduleBatch, schedules_from_rows, take_rows
 from repro.schedule.schedule import Schedule
-from repro.schedule.space import ScheduleSpace
+from repro.schedule.space import MUTATE_UNIFORMS, ScheduleSpace, _pick, _pick_vec
+
+__all__ = [
+    "BatchFitness",
+    "Candidate",
+    "GAResult",
+    "GenerationCallback",
+    "GeneticConfig",
+    "RowFitness",
+    "genetic_search",
+    "genetic_search_rows",
+]
 
 
 @dataclass(frozen=True)
@@ -49,6 +75,361 @@ GenerationCallback = Callable[[int, list[float], int], None]
 #: engine plugs into: a batch can be memo-served and process-pooled.
 BatchFitness = Callable[[list[Candidate]], list[float]]
 
+#: Row cost function: scores batch rows in one call — ``(mapping_indices,
+#: batch) -> costs`` with no per-candidate objects.  The hook the
+#: engine's ``predict_rows`` plugs into.
+RowFitness = Callable[[np.ndarray, ScheduleBatch], np.ndarray]
+
+
+@dataclass(frozen=True)
+class GAResult:
+    """Every evaluated candidate of one GA run, cost-ascending.
+
+    The array-native return shape: ``mapping_index[i]`` indexes the
+    mappings list, row ``i`` of ``batch`` (joint-width columns,
+    ``describes=None``) is the schedule, ``costs[i]`` its fitness.
+    Ordering is a stable sort over archive (first-evaluation) order, so
+    ties break identically to the object path's stable ``sorted``.
+    """
+
+    mapping_index: np.ndarray  # (n,) int64
+    batch: ScheduleBatch       # n rows, joint width
+    costs: np.ndarray          # (n,) float64, ascending
+
+    def __len__(self) -> int:
+        return self.mapping_index.shape[0]
+
+    def candidates(self, spaces: Sequence[ScheduleSpace]) -> list[tuple[Candidate, float]]:
+        """Materialize ``(Candidate, cost)`` pairs (compat boundary only)."""
+        out: list[tuple[Candidate, float]] = []
+        for i in range(len(self)):
+            mi = int(self.mapping_index[i])
+            names = spaces[mi].spatial_names
+            schedule = schedules_from_rows(names, self.batch, [i])[0]
+            out.append((Candidate(mi, schedule), float(self.costs[i])))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Shared uniform-matrix layout.
+#
+# Initial fill, one row per candidate (K = 1 + 2*D + 4 columns):
+#   col 0            mapping pick
+#   cols 1..2d+4     the mapping's sample draw (trailing columns unused
+#                    when the mapping is narrower than the joint width D)
+# Breeding, one row per child (K = 2 + (1 + 2*D + 4) columns):
+#   col 0            parent pick from the elite
+#   col 1            mapping re-draw coin (< mapping_mutation_prob)
+#   redraw path:     col 2 mapping pick, cols 3.. the sample draw
+#   mutate path:     cols 2..2+MUTATE_UNIFORMS the mutation draw
+#
+# Both paths consume whole rows regardless of which columns a decision
+# uses — the fixed budget that keeps the two RNG streams aligned.
+# ---------------------------------------------------------------------------
+
+
+def _sample_width(joint_width: int) -> int:
+    return 1 + 2 * joint_width + 4
+
+
+def _breed_width(joint_width: int) -> int:
+    return 2 + _sample_width(joint_width)
+
+
+def _canonical(space: ScheduleSpace, schedule: Schedule) -> Schedule:
+    """Canonical full-split form: every spatial dim's split present."""
+    return Schedule(
+        splits={
+            name: schedule.split_for(name) for name in space.spatial_names
+        },
+        reduce_stage=schedule.reduce_stage,
+        double_buffer=schedule.double_buffer,
+        unroll=schedule.unroll,
+        vectorize=schedule.vectorize,
+    )
+
+
+class _RowPopulation:
+    """Mutable SoA population: joint-width columns + mapping indices."""
+
+    def __init__(self, n: int, joint_width: int):
+        self.mi = np.zeros(n, dtype=np.int64)
+        self.warp = np.ones((n, joint_width), dtype=np.int64)
+        self.seq = np.ones((n, joint_width), dtype=np.int64)
+        self.stage = np.ones(n, dtype=np.int64)
+        self.db = np.zeros(n, dtype=bool)
+        self.unroll = np.ones(n, dtype=np.int64)
+        self.vectorize = np.ones(n, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self.mi.shape[0]
+
+    def batch(self) -> ScheduleBatch:
+        return ScheduleBatch(
+            warp=self.warp,
+            seq=self.seq,
+            reduce_stage=self.stage,
+            double_buffer=self.db,
+            unroll=self.unroll,
+            vectorize=self.vectorize,
+        )
+
+    def keys(self, widths: Sequence[int]) -> list[bytes]:
+        """Per-row canonical byte keys: mapping index + width-trimmed
+        column bytes — the dedup currency replacing describe strings."""
+        n = len(self)
+        keys: list[bytes] = [b""] * n
+        for mi in np.unique(self.mi):
+            rows = np.nonzero(self.mi == mi)[0]
+            d = widths[int(mi)]
+            cols = np.column_stack(
+                (
+                    self.warp[rows, :d],
+                    self.seq[rows, :d],
+                    self.stage[rows],
+                    self.db[rows].astype(np.int64),
+                    self.unroll[rows],
+                    self.vectorize[rows],
+                )
+            )
+            raw = np.ascontiguousarray(cols).tobytes()
+            stride = cols.shape[1] * 8
+            prefix = int(mi).to_bytes(8, "little")
+            for k, pos in enumerate(rows):
+                keys[pos] = prefix + raw[k * stride : (k + 1) * stride]
+        return keys
+
+    def set_schedule(self, i: int, d: int, schedule: Schedule, names) -> None:
+        for j, name in enumerate(names):
+            split = schedule.split_for(name)
+            self.warp[i, j] = split.warp
+            self.seq[i, j] = split.seq
+        self.stage[i] = schedule.reduce_stage
+        self.db[i] = schedule.double_buffer
+        self.unroll[i] = schedule.unroll
+        self.vectorize[i] = schedule.vectorize
+
+    def fill_samples(
+        self,
+        rows: np.ndarray,
+        mapping_indices: np.ndarray,
+        spaces: Sequence[ScheduleSpace],
+        u: np.ndarray,
+    ) -> None:
+        """Sample fresh schedules into ``rows`` (vectorized per mapping).
+
+        ``u``'s rows align with ``rows``; each mapping group decodes the
+        first ``2 d + 4`` columns of its rows through ``sample_columns``.
+        """
+        self.mi[rows] = mapping_indices
+        for mi in np.unique(mapping_indices):
+            group = np.nonzero(mapping_indices == mi)[0]
+            space = spaces[int(mi)]
+            d = len(space.spatial_names)
+            warp, seq, stage, db, un, ve = space.sample_columns(u[group])
+            target = rows[group]
+            self.warp[np.ix_(target, np.arange(d))] = warp
+            self.seq[np.ix_(target, np.arange(d))] = seq
+            self.stage[target] = stage
+            self.db[target] = db
+            self.unroll[target] = un
+            self.vectorize[target] = ve
+
+
+def genetic_search_rows(
+    mappings: Sequence[PhysicalMapping],
+    fitness_rows: RowFitness,
+    config: GeneticConfig | None = None,
+    seeds: Sequence[Candidate] = (),
+    spaces: Sequence[ScheduleSpace] | None = None,
+    on_generation: GenerationCallback | None = None,
+) -> GAResult:
+    """Array-native GA: the population lives as ScheduleBatch columns.
+
+    Selection, elitism, schedule mutation and mapping re-draw are numpy
+    column operations over a single seeded ``numpy.random.Generator``;
+    dedup and the evaluated archive are keyed by per-row canonical byte
+    keys.  :func:`genetic_search` with the same config, seeds and spaces
+    is the bit-identical object-path oracle: identical ranked output,
+    identical archive order.
+
+    Args:
+        mappings: the valid physical mappings to choose among.
+        fitness_rows: row cost function ``(mapping_indices, batch) ->
+            costs`` — typically the engine's ``predict_rows``.
+        config: GA hyper-parameters.
+        seeds: candidates injected into the initial population.
+        spaces: per-mapping schedule spaces (defaults to unconstrained).
+        on_generation: pure-observation telemetry hook, as in
+            :func:`genetic_search`.
+    """
+    if not mappings:
+        raise ValueError("no mappings to search over")
+    config = config or GeneticConfig()
+    if spaces is None:
+        spaces = [ScheduleSpace(pm) for pm in mappings]
+    if len(spaces) != len(mappings):
+        raise ValueError("one schedule space per mapping required")
+    rng = np.random.default_rng(config.seed)
+    widths = [len(space.spatial_names) for space in spaces]
+    joint = max(widths, default=0)
+    pop_n = config.population
+
+    pop = _RowPopulation(pop_n, joint)
+    seed_list = list(seeds)[:pop_n]
+    for i, cand in enumerate(seed_list):
+        mi = cand.mapping_index
+        pop.mi[i] = mi
+        pop.set_schedule(i, widths[mi], cand.schedule, spaces[mi].spatial_names)
+    n_fill = pop_n - len(seed_list)
+    if n_fill:
+        u = rng.random((n_fill, _sample_width(joint)))
+        fill_rows = np.arange(len(seed_list), pop_n)
+        fill_mi = _pick_vec(u[:, 0], len(mappings))
+        pop.fill_samples(fill_rows, fill_mi, spaces, u[:, 1:])
+
+    # Evaluated archive, insertion (first-appearance) order — the
+    # array twin of the object path's ``evaluated`` dict.
+    evaluated: dict[bytes, float] = {}
+    arch_mi: list[np.ndarray] = []
+    arch_rows: list[ScheduleBatch] = []
+    arch_costs: list[np.ndarray] = []
+
+    def evaluate_population() -> np.ndarray:
+        """Score the population; fresh rows go through ``fitness_rows``
+        as one zero-copy row slice.  Returns per-row costs."""
+        keys = pop.keys(widths)
+        fresh_rows: list[int] = []
+        pending: set[bytes] = set()
+        for i, key in enumerate(keys):
+            if key not in evaluated and key not in pending:
+                fresh_rows.append(i)
+                pending.add(key)
+        if fresh_rows:
+            rows = np.asarray(fresh_rows, dtype=np.int64)
+            chunk = take_rows(pop.batch(), rows)
+            chunk_mi = pop.mi[rows].copy()
+            costs = np.asarray(fitness_rows(chunk_mi, chunk), dtype=np.float64)
+            if costs.shape[0] != rows.shape[0]:
+                raise ValueError(
+                    f"fitness_rows returned {costs.shape[0]} costs for "
+                    f"{rows.shape[0]} rows"
+                )
+            for i, cost in zip(fresh_rows, costs):
+                evaluated[keys[i]] = float(cost)
+            arch_mi.append(chunk_mi)
+            arch_rows.append(chunk)
+            arch_costs.append(costs)
+        return np.asarray([evaluated[k] for k in keys], dtype=np.float64)
+
+    def observe(generation: int, costs: np.ndarray) -> None:
+        # Pure observation: costs are already computed, the RNG stream
+        # is untouched — identical search with or without a callback.
+        if on_generation is None and not _events._enabled:
+            return
+        fitnesses = [float(c) for c in costs]
+        unique = len(set(pop.keys(widths)))
+        if on_generation is not None:
+            on_generation(generation, fitnesses, unique)
+        if _events._enabled:
+            _events.get_bus().publish(
+                "ga.generation",
+                generation_stats(generation, fitnesses, unique).to_dict(),
+            )
+
+    for gen in range(config.generations):
+        costs = evaluate_population()
+        order = np.argsort(costs, kind="stable")
+        observe(gen, costs)
+        elite_count = max(1, int(pop_n * config.elite_fraction))
+        elite_idx = order[:elite_count]
+        n_children = pop_n - elite_count
+
+        next_pop = _RowPopulation(pop_n, joint)
+        keep = np.arange(elite_count)
+        next_pop.mi[keep] = pop.mi[elite_idx]
+        next_pop.warp[keep] = pop.warp[elite_idx]
+        next_pop.seq[keep] = pop.seq[elite_idx]
+        next_pop.stage[keep] = pop.stage[elite_idx]
+        next_pop.db[keep] = pop.db[elite_idx]
+        next_pop.unroll[keep] = pop.unroll[elite_idx]
+        next_pop.vectorize[keep] = pop.vectorize[elite_idx]
+
+        if n_children:
+            u = rng.random((n_children, _breed_width(joint)))
+            parents = elite_idx[_pick_vec(u[:, 0], elite_count)]
+            redraw = u[:, 1] < config.mapping_mutation_prob
+            child_rows = np.arange(elite_count, pop_n)
+
+            re_rows = np.nonzero(redraw)[0]
+            if re_rows.size:
+                re_mi = _pick_vec(u[re_rows, 2], len(mappings))
+                next_pop.fill_samples(
+                    child_rows[re_rows], re_mi, spaces, u[re_rows, 3:]
+                )
+
+            mut_rows = np.nonzero(~redraw)[0]
+            if mut_rows.size:
+                p = parents[mut_rows]
+                target = child_rows[mut_rows]
+                next_pop.mi[target] = pop.mi[p]
+                for mi in np.unique(pop.mi[p]):
+                    group = np.nonzero(pop.mi[p] == mi)[0]
+                    space = spaces[int(mi)]
+                    d = widths[int(mi)]
+                    src = p[group]
+                    warp, seq, stage, db, un, ve = space.mutate_columns(
+                        pop.warp[src][:, :d],
+                        pop.seq[src][:, :d],
+                        pop.stage[src],
+                        pop.db[src],
+                        pop.unroll[src],
+                        pop.vectorize[src],
+                        u[mut_rows[group], 2 : 2 + MUTATE_UNIFORMS],
+                    )
+                    t = target[group]
+                    next_pop.warp[np.ix_(t, np.arange(d))] = warp
+                    next_pop.seq[np.ix_(t, np.arange(d))] = seq
+                    next_pop.stage[t] = stage
+                    next_pop.db[t] = db
+                    next_pop.unroll[t] = un
+                    next_pop.vectorize[t] = ve
+        pop = next_pop
+
+    costs = evaluate_population()
+    observe(config.generations, costs)
+
+    all_mi = np.concatenate(arch_mi) if arch_mi else np.empty(0, dtype=np.int64)
+    all_costs = (
+        np.concatenate(arch_costs) if arch_costs else np.empty(0, dtype=np.float64)
+    )
+    all_batch = ScheduleBatch(
+        warp=np.concatenate([b.warp for b in arch_rows])
+        if arch_rows
+        else np.empty((0, joint), dtype=np.int64),
+        seq=np.concatenate([b.seq for b in arch_rows])
+        if arch_rows
+        else np.empty((0, joint), dtype=np.int64),
+        reduce_stage=np.concatenate([b.reduce_stage for b in arch_rows])
+        if arch_rows
+        else np.empty(0, dtype=np.int64),
+        double_buffer=np.concatenate([b.double_buffer for b in arch_rows])
+        if arch_rows
+        else np.empty(0, dtype=bool),
+        unroll=np.concatenate([b.unroll for b in arch_rows])
+        if arch_rows
+        else np.empty(0, dtype=np.int64),
+        vectorize=np.concatenate([b.vectorize for b in arch_rows])
+        if arch_rows
+        else np.empty(0, dtype=np.int64),
+    )
+    order = np.argsort(all_costs, kind="stable")
+    return GAResult(
+        mapping_index=all_mi[order],
+        batch=take_rows(all_batch, order),
+        costs=all_costs[order],
+    )
+
 
 def genetic_search(
     mappings: Sequence[PhysicalMapping],
@@ -59,8 +440,17 @@ def genetic_search(
     on_generation: GenerationCallback | None = None,
     fitness_many: BatchFitness | None = None,
 ) -> list[tuple[Candidate, float]]:
-    """Run the GA; returns all evaluated (candidate, cost) pairs sorted by
-    cost ascending (cost = predicted latency; lower is better).
+    """Run the GA over per-candidate objects; returns all evaluated
+    (candidate, cost) pairs sorted by cost ascending (cost = predicted
+    latency; lower is better).
+
+    This is the scalar *oracle* of :func:`genetic_search_rows`: it draws
+    the same uniform matrices from the same seeded generator and decodes
+    them row-by-row with the independent scalar twins
+    (``sample_with_uniforms`` / ``mutate_with_uniforms``), so for equal
+    (config, seeds, spaces) both paths evaluate the same candidates in
+    the same order and return the same ranking — the bit-identity
+    contract the test suite pins.
 
     Args:
         mappings: the valid physical mappings to choose among.
@@ -90,20 +480,29 @@ def genetic_search(
     if fitness is None and fitness_many is None:
         raise ValueError("genetic_search needs a fitness or fitness_many evaluator")
     config = config or GeneticConfig()
-    rng = random.Random(config.seed)
+    rng = np.random.default_rng(config.seed)
     if spaces is None:
         spaces = [ScheduleSpace(pm) for pm in mappings]
     if len(spaces) != len(mappings):
         raise ValueError("one schedule space per mapping required")
+    joint = max((len(s.spatial_names) for s in spaces), default=0)
+    pop_n = config.population
 
-    def random_candidate() -> Candidate:
-        mi = rng.randrange(len(mappings))
-        return Candidate(mi, spaces[mi].sample(rng))
+    def sample_from(u_row: np.ndarray) -> Candidate:
+        mi = _pick(float(u_row[0]), len(mappings))
+        return Candidate(mi, spaces[mi].sample_with_uniforms(u_row[1:]))
 
-    population = list(seeds)[: config.population]
-    population.extend(
-        random_candidate() for _ in range(config.population - len(population))
-    )
+    # Seeds are canonicalized (every split present) exactly as the row
+    # representation forces, so keys and jitter strings agree.
+    population = [
+        Candidate(c.mapping_index, _canonical(spaces[c.mapping_index], c.schedule))
+        for c in list(seeds)[:pop_n]
+    ]
+    n_fill = pop_n - len(population)
+    if n_fill:
+        u = rng.random((n_fill, _sample_width(joint)))
+        population.extend(sample_from(u[i]) for i in range(n_fill))
+
     evaluated: dict[str, tuple[Candidate, float]] = {}
 
     def key_of(c: Candidate) -> str:
@@ -113,8 +512,8 @@ def genetic_search(
         """Score every not-yet-evaluated candidate, in order.
 
         Insertion into ``evaluated`` happens in first-appearance order —
-        exactly the order the lazy per-candidate path produces — so the
-        final stable sort tie-breaks identically on both paths.
+        exactly the order the row path's archive records — so the final
+        stable sort tie-breaks identically on both paths.
         """
         fresh: list[tuple[str, Candidate]] = []
         pending: set[str] = set()
@@ -166,16 +565,25 @@ def genetic_search(
         elite_count = max(1, int(len(scored) * config.elite_fraction))
         elite = scored[:elite_count]
         next_pop = list(elite)
-        while len(next_pop) < config.population:
-            parent = rng.choice(elite)
-            if rng.random() < config.mapping_mutation_prob:
-                child = random_candidate()
-            else:
-                space = spaces[parent.mapping_index]
-                child = Candidate(
-                    parent.mapping_index, space.mutate(parent.schedule, rng)
-                )
-            next_pop.append(child)
+        n_children = pop_n - elite_count
+        if n_children:
+            u = rng.random((n_children, _breed_width(joint)))
+            for i in range(n_children):
+                parent = elite[_pick(float(u[i, 0]), elite_count)]
+                if u[i, 1] < config.mapping_mutation_prob:
+                    mi = _pick(float(u[i, 2]), len(mappings))
+                    child = Candidate(
+                        mi, spaces[mi].sample_with_uniforms(u[i, 3:])
+                    )
+                else:
+                    space = spaces[parent.mapping_index]
+                    child = Candidate(
+                        parent.mapping_index,
+                        space.mutate_with_uniforms(
+                            parent.schedule, u[i, 2 : 2 + MUTATE_UNIFORMS]
+                        ),
+                    )
+                next_pop.append(child)
         population = next_pop
 
     evaluate_batch(population)

@@ -20,8 +20,9 @@ cache temperature.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.engine.engine import EvaluationEngine
 from repro.engine.faults import FaultPlan, FaultPolicy
@@ -30,7 +31,12 @@ from repro.engine.fingerprint import (
     hardware_fingerprint,
     tuner_config_fingerprint,
 )
-from repro.explore.genetic import Candidate, GeneticConfig, genetic_search
+from repro.explore.genetic import (
+    Candidate,
+    GeneticConfig,
+    genetic_search,
+    genetic_search_rows,
+)
 from repro.ir.compute import ReduceComputation
 from repro.isa.registry import intrinsics_for_target
 from repro.mapping.generation import GenerationOptions, enumerate_mappings
@@ -42,8 +48,10 @@ from repro.obs.logging import LEVELS, get_logger, log_level
 from repro.obs.runlog import FlightRecorder, active_recorder
 from repro.obs.trace import span as _obs_span
 from repro.obs.trace import tracing_enabled as _obs_enabled
+from repro.schedule.features import ScheduleBatch, schedules_from_rows, take_rows
 from repro.schedule.lowering import ScheduledMapping, lower_schedule
-from repro.schedule.space import ScheduleSpace, default_schedule
+from repro.schedule.schedule import Schedule
+from repro.schedule.space import MUTATE_UNIFORMS, ScheduleSpace, default_schedule
 
 # Tuner progress goes through the structured logger (JSONL on stderr):
 # silent at the WARNING library default, narrated at INFO (the CLI's
@@ -60,15 +68,27 @@ class TunerConfig:
     heuristic schedule and only the top candidates enter the (more
     expensive) genetic schedule search.
 
-    ``n_workers`` / ``min_pool_batch`` / ``vectorized`` / ``cache_dir``
-    are execution knobs: they control how fast the same answer is
-    produced, never which answer.  ``n_workers=None`` means "one worker
-    per CPU core" (``os.cpu_count()``); ``n_workers=1`` forces pure
-    in-process evaluation.  ``vectorized`` selects the engine's array
-    fast path (feature tables + batch evaluators, bit-identical to the
-    scalar evaluators); ``vectorized=False`` falls back to per-candidate
-    scalar evaluation.  ``cache_dir`` opts into the persistent compile
-    cache consulted by :func:`repro.compiler.amos_compile`.
+    ``elite_fraction`` / ``mapping_mutation_prob`` are the GA's selection
+    pressure and mapping re-draw rate (see
+    :class:`~repro.explore.genetic.GeneticConfig`).  They are *budget*
+    knobs — they change which candidates are explored, so they are part
+    of the tuner-config fingerprint.
+
+    ``n_workers`` / ``min_pool_batch`` / ``vectorized`` / ``ga_arrays``
+    / ``cache_dir`` are execution knobs: they control how fast the same
+    answer is produced, never which answer.  ``n_workers=None`` means
+    "one worker per CPU core" (``os.cpu_count()``); ``n_workers=1``
+    forces pure in-process evaluation.  ``vectorized`` selects the
+    engine's array fast path (feature tables + batch evaluators,
+    bit-identical to the scalar evaluators); ``vectorized=False`` falls
+    back to per-candidate scalar evaluation.  ``ga_arrays`` selects the
+    array-native exploration loop (the population as a
+    :class:`~repro.schedule.features.ScheduleBatch`, row-keyed memo
+    lookups, zero-copy pool handoff); ``ga_arrays=False`` runs the
+    per-candidate object loop, which is the bit-identity oracle — same
+    ranked candidates, same trials, equivalent manifests.  ``cache_dir``
+    opts into the persistent compile cache consulted by
+    :func:`repro.compiler.amos_compile`.
 
     ``run_dir`` / ``divergence_rate`` are flight-recorder knobs (also
     execution-only, excluded from the budget fingerprint): ``run_dir``
@@ -89,6 +109,8 @@ class TunerConfig:
 
     population: int = 32
     generations: int = 8
+    elite_fraction: float = 0.25
+    mapping_mutation_prob: float = 0.15
     measure_top: int = 32
     prefilter_mappings: int = 24
     refine_rounds: int = 4
@@ -98,6 +120,7 @@ class TunerConfig:
     n_workers: int | None = None
     min_pool_batch: int = 16
     vectorized: bool = True
+    ga_arrays: bool = True
     cache_dir: str | None = None
     run_dir: str | None = None
     divergence_rate: float = 0.0
@@ -156,6 +179,45 @@ class ExplorationResult:
         }
 
 
+def _encode_rows(
+    engine: EvaluationEngine, items: list[tuple[int, Schedule]]
+) -> tuple[np.ndarray, ScheduleBatch]:
+    """Encode (engine mapping index, schedule) pairs as joint-width rows.
+
+    The object→row boundary of the array-native tuner: default-schedule
+    seeds and refinement starting points enter the row world here, with
+    every spatial split materialized (rows are canonical), so their row
+    keys match what the GA's column ops produce for the same schedule.
+    """
+    names_of = {mi: engine.features_of(mi).spatial_names for mi, _ in items}
+    joint = max((len(names) for names in names_of.values()), default=0)
+    n = len(items)
+    mi_arr = np.asarray([mi for mi, _ in items], dtype=np.int64)
+    warp = np.ones((n, joint), dtype=np.int64)
+    seq = np.ones((n, joint), dtype=np.int64)
+    stage = np.empty(n, dtype=np.int64)
+    db = np.empty(n, dtype=bool)
+    unroll = np.empty(n, dtype=np.int64)
+    vectorize = np.empty(n, dtype=np.int64)
+    for i, (mi, sched) in enumerate(items):
+        for j, name in enumerate(names_of[mi]):
+            split = sched.split_for(name)
+            warp[i, j] = split.warp
+            seq[i, j] = split.seq
+        stage[i] = sched.reduce_stage
+        db[i] = sched.double_buffer
+        unroll[i] = sched.unroll
+        vectorize[i] = sched.vectorize
+    return mi_arr, ScheduleBatch(
+        warp=warp,
+        seq=seq,
+        reduce_stage=stage,
+        double_buffer=db,
+        unroll=unroll,
+        vectorize=vectorize,
+    )
+
+
 class Tuner:
     """Joint mapping x schedule tuner for one hardware target."""
 
@@ -206,10 +268,16 @@ class Tuner:
             return list(range(len(physical)))
         with _obs_span("tuner.prefilter", candidates=len(physical), keep=keep):
             items = [(i, default_schedule(pm)) for i, pm in enumerate(physical)]
-            costs = engine.predict_many(items)
+            if self.config.ga_arrays:
+                # Row entry point: same candidates, row-keyed memo — so
+                # the GA's later seed evaluations hit the same entries.
+                mi_arr, batch = _encode_rows(engine, items)
+                costs = engine.predict_rows(mi_arr, batch)
+            else:
+                costs = engine.predict_many(items)
             _obs_metrics.counter("model.predictions").inc(len(items))
             scored = sorted(zip(costs, range(len(physical))), key=lambda pair: pair[0])
-            return [i for _, i in scored[:keep]]
+            return [int(i) for _, i in scored[:keep]]
 
     def _prefilter(self, physical: list[PhysicalMapping]) -> list[PhysicalMapping]:
         """Standalone prefilter (kept for callers outside ``tune``)."""
@@ -315,6 +383,7 @@ class Tuner:
         # heuristic schedule, keep the top few for the schedule search.
         # ``selected`` maps prefiltered positions back to engine indices.
         selected = self._prefilter_indices(engine, all_physical)
+        selected_arr = np.asarray(selected, dtype=np.int64)
         physical = [all_physical[i] for i in selected]
         if log is not None:
             log.record_funnel("prefiltered", len(physical))
@@ -342,10 +411,22 @@ class Tuner:
             _obs_metrics.counter("model.predictions").inc(len(items))
             return engine.predict_many(items)
 
-        def measure_batch(
+        def fitness_rows(mapping_indices: np.ndarray, batch) -> np.ndarray:
+            # The GA hands prefiltered-space indices; translate to engine
+            # indices as one fancy-index, no per-candidate objects.
+            _obs_metrics.counter("model.predictions").inc(len(batch))
+            return engine.predict_rows(selected_arr[mapping_indices], batch)
+
+        def measure_candidates(
             candidates: list[Candidate],
         ) -> list[tuple[float, float]]:
             items = [(selected[c.mapping_index], c.schedule) for c in candidates]
+            if not items:
+                return []
+            if self.config.ga_arrays:
+                mi_arr, batch = _encode_rows(engine, items)
+                predicted, measured = engine.measure_rows(mi_arr, batch)
+                return list(zip(predicted.tolist(), measured.tolist()))
             return engine.measure_many(items)
 
         max_warps = (
@@ -361,6 +442,8 @@ class Tuner:
         ga = GeneticConfig(
             population=self.config.population,
             generations=self.config.generations,
+            elite_fraction=self.config.elite_fraction,
+            mapping_mutation_prob=self.config.mapping_mutation_prob,
             seed=self.config.seed,
         )
         on_generation = None
@@ -378,15 +461,43 @@ class Tuner:
                     mean_us=stats.mean_fitness,
                     diversity=round(stats.diversity, 3),
                 )
+        ga_rows = None
         with _obs_span("tuner.genetic_search", mappings=len(physical)):
-            ranked = genetic_search(
-                physical,
-                config=ga,
-                seeds=seeds,
-                spaces=spaces,
-                on_generation=on_generation,
-                fitness_many=fitness_many,
-            )
+            if self.config.ga_arrays:
+                ga_rows = genetic_search_rows(
+                    physical,
+                    fitness_rows,
+                    config=ga,
+                    seeds=seeds,
+                    spaces=spaces,
+                    on_generation=on_generation,
+                )
+                # Trial-boundary materialization: the only place the
+                # array-native loop builds per-candidate objects.
+                ranked = ga_rows.candidates(spaces)
+            else:
+                ranked = genetic_search(
+                    physical,
+                    config=ga,
+                    seeds=seeds,
+                    spaces=spaces,
+                    on_generation=on_generation,
+                    fitness_many=fitness_many,
+                )
+
+        def measure_ranked(indices: list[int]) -> list[tuple[float, float]]:
+            """Measure ranked candidates by rank index — as zero-copy row
+            slices of the GA archive in arrays mode."""
+            if not indices:
+                return []
+            if ga_rows is not None:
+                rows = np.asarray(indices, dtype=np.int64)
+                predicted, measured = engine.measure_rows(
+                    selected_arr[ga_rows.mapping_index[rows]],
+                    take_rows(ga_rows.batch, rows),
+                )
+                return list(zip(predicted.tolist(), measured.tolist()))
+            return measure_candidates([ranked[i][0] for i in indices])
 
         # Measure on the "hardware": the model's global top plus the best
         # model-ranked candidate of every surviving mapping, so a mapping
@@ -416,7 +527,7 @@ class Tuner:
             "measuring candidates", operator=comp.name, candidates=len(measured_set)
         )
         with _obs_span("tuner.measure", candidates=len(measured_set)):
-            measured_results = measure_batch([ranked[idx][0] for idx in to_measure])
+            measured_results = measure_ranked(to_measure)
             measured_by_rank = dict(zip(to_measure, measured_results))
             for idx, (candidate, predicted) in enumerate(ranked):
                 sched = lower_schedule(
@@ -456,7 +567,7 @@ class Tuner:
                 not in measured_keys
             ]
             for seed_candidate, (predicted, measured) in zip(
-                net, measure_batch(net)
+                net, measure_candidates(net)
             ):
                 record_measurement(seed_candidate.mapping_index, predicted, measured)
                 sched = lower_schedule(
@@ -495,7 +606,11 @@ class Tuner:
             if len(seeds_for_refine) >= 4:
                 break
 
-        rng = random.Random(self.config.seed + 1)
+        # One uniform matrix per refinement round, from a dedicated seeded
+        # generator: both execution modes draw the identical matrices and
+        # decode them with their own implementation (column ops vs the
+        # scalar twins), so refinement steps agree bit-for-bit.
+        rng = np.random.default_rng(self.config.seed + 1)
         _log.info(
             "refining",
             operator=comp.name,
@@ -510,17 +625,56 @@ class Tuner:
                     # hill-climbing must not mutate into schedules that
                     # exceed the device's warp budget.
                     space = spaces[current.mapping_index]
-                    neighbors = [
-                        Candidate(
-                            current.mapping_index,
-                            space.mutate(current.schedule, rng),
+                    k = self.config.refine_neighbors
+                    u = rng.random((k, MUTATE_UNIFORMS))
+                    if self.config.ga_arrays:
+                        engine_mi = selected[current.mapping_index]
+                        _, cur = _encode_rows(
+                            engine, [(engine_mi, current.schedule)]
                         )
-                        for _ in range(self.config.refine_neighbors)
-                    ]
+                        base = take_rows(cur, np.zeros(k, dtype=np.int64))
+                        warp, seq, stage, db, un, ve = space.mutate_columns(
+                            base.warp,
+                            base.seq,
+                            base.reduce_stage,
+                            base.double_buffer,
+                            base.unroll,
+                            base.vectorize,
+                            u,
+                        )
+                        nb_batch = ScheduleBatch(
+                            warp=warp,
+                            seq=seq,
+                            reduce_stage=stage,
+                            double_buffer=db,
+                            unroll=un,
+                            vectorize=ve,
+                        )
+                        predicted_arr, measured_arr = engine.measure_rows(
+                            np.full(k, engine_mi, dtype=np.int64), nb_batch
+                        )
+                        # Every neighbor becomes a Trial, so this decode
+                        # is the trial boundary, not a per-candidate loop.
+                        neighbors = [
+                            Candidate(current.mapping_index, sch)
+                            for sch in schedules_from_rows(
+                                space.spatial_names, nb_batch
+                            )
+                        ]
+                        results = list(
+                            zip(predicted_arr.tolist(), measured_arr.tolist())
+                        )
+                    else:
+                        neighbors = [
+                            Candidate(
+                                current.mapping_index,
+                                space.mutate_with_uniforms(current.schedule, u[i]),
+                            )
+                            for i in range(k)
+                        ]
+                        results = measure_candidates(neighbors)
                     improved = False
-                    for neighbor, (predicted, measured) in zip(
-                        neighbors, measure_batch(neighbors)
-                    ):
+                    for neighbor, (predicted, measured) in zip(neighbors, results):
                         record_measurement(
                             neighbor.mapping_index, predicted, measured
                         )

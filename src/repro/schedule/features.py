@@ -37,7 +37,7 @@ import numpy as np
 
 from repro.mapping.physical import PhysicalMapping
 from repro.schedule.lowering import dtype_bytes, macro_dims
-from repro.schedule.schedule import Schedule
+from repro.schedule.schedule import DimSplit, Schedule
 
 __all__ = [
     "MappingFeatures",
@@ -46,6 +46,9 @@ __all__ = [
     "BatchQuantities",
     "encode_schedules",
     "derive_batch",
+    "render_describes",
+    "schedules_from_rows",
+    "take_rows",
 ]
 
 
@@ -146,11 +149,17 @@ class ScheduleBatch:
     """A batch of schedules encoded against one mapping's spatial dims.
 
     Row ``i`` is one schedule; column ``d`` of the split arrays is the
-    mapping's ``spatial_names[d]``.  ``describes`` carries each
-    schedule's canonical ``describe()`` string — the simulator's jitter
-    key hashes it, and two semantically equal schedules with different
-    ``splits`` dict contents describe (and therefore jitter)
-    differently, so the string itself is part of the encoding.
+    mapping's ``spatial_names[d]``.  ``describes`` optionally carries
+    each schedule's canonical ``describe()`` string — the simulator's
+    jitter key hashes it, and two semantically equal schedules with
+    different ``splits`` dict contents describe (and therefore jitter)
+    differently, so when a batch is encoded *from objects* the strings
+    are part of the encoding.  A batch born as rows (the array-native
+    GA, engine row entry points) ships ``describes=None``: its rows
+    canonically mean "every split present", so the strings are a pure
+    function of the columns and are rendered lazily — only for the rows
+    that reach jitter encoding or trial records (see
+    :func:`render_describes`).
     """
 
     warp: np.ndarray          # (n, n_spatial) int64
@@ -159,7 +168,7 @@ class ScheduleBatch:
     double_buffer: np.ndarray  # (n,) bool
     unroll: np.ndarray        # (n,) int64
     vectorize: np.ndarray     # (n,) int64
-    describes: tuple[str, ...]
+    describes: tuple[str, ...] | None = None
 
     def __len__(self) -> int:
         return self.reduce_stage.shape[0]
@@ -208,6 +217,101 @@ def encode_schedules(
         vectorize=vectorize,
         describes=describes,
     )
+
+
+def take_rows(
+    batch: ScheduleBatch, rows: np.ndarray | Sequence[int], width: int | None = None
+) -> ScheduleBatch:
+    """Select rows (optionally trimming the split width) as a new batch.
+
+    The row arrays are materialized contiguous, so a sliced batch ships
+    to a pool worker as plain ndarray buffers — the zero-copy-pickle
+    handoff of the array-native explore loop.  ``width`` trims padded
+    joint-population columns down to one mapping's ``n_spatial`` (the GA
+    packs mixed-mapping populations at the widest mapping's width, with
+    identity splits in the padding).  ``describes`` is sliced when
+    present and stays ``None`` when the batch is row-native.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    warp, seq = batch.warp, batch.seq
+    if width is not None:
+        warp, seq = warp[:, :width], seq[:, :width]
+    describes = batch.describes
+    if describes is not None:
+        describes = tuple(describes[int(i)] for i in rows)
+    return ScheduleBatch(
+        warp=np.ascontiguousarray(warp[rows]),
+        seq=np.ascontiguousarray(seq[rows]),
+        reduce_stage=np.ascontiguousarray(batch.reduce_stage[rows]),
+        double_buffer=np.ascontiguousarray(batch.double_buffer[rows]),
+        unroll=np.ascontiguousarray(batch.unroll[rows]),
+        vectorize=np.ascontiguousarray(batch.vectorize[rows]),
+        describes=describes,
+    )
+
+
+def _sorted_name_order(names: Sequence[str]) -> list[int]:
+    """Column order that renders splits in ``Schedule.describe()``'s
+    sorted-name order (``spatial_names`` is macro-dim order)."""
+    return sorted(range(len(names)), key=lambda j: names[j])
+
+
+def render_describes(
+    names: Sequence[str],
+    batch: ScheduleBatch,
+    indices: Sequence[int] | np.ndarray | None = None,
+) -> list[str]:
+    """Render canonical ``describe()`` strings from batch rows.
+
+    Valid only for row-native batches, whose rows mean "every split
+    present": the rendered string then equals
+    ``schedules_from_rows(...)[i].describe()`` exactly.  ``indices``
+    restricts rendering to the rows that need a string (memo-miss rows
+    headed for jitter encoding, trial records) — the lazy-describe
+    contract of the row path.
+    """
+    if batch.describes is not None:
+        source = batch.describes
+        if indices is None:
+            return list(source)
+        return [source[int(i)] for i in indices]
+    order = _sorted_name_order(names)
+    rows = range(len(batch)) if indices is None else indices
+    out = []
+    for i in rows:
+        parts = [
+            f"{names[j]}: warp={batch.warp[i, j]} seq={batch.seq[i, j]}"
+            for j in order
+        ]
+        parts.append(f"reduce_stage={batch.reduce_stage[i]}")
+        parts.append(f"double_buffer={bool(batch.double_buffer[i])}")
+        parts.append(f"unroll={batch.unroll[i]} vectorize={batch.vectorize[i]}")
+        out.append("; ".join(parts))
+    return out
+
+
+def schedules_from_rows(
+    names: Sequence[str],
+    batch: ScheduleBatch,
+    indices: Sequence[int] | np.ndarray | None = None,
+) -> list[Schedule]:
+    """Materialize :class:`Schedule` objects from batch rows (canonical
+    full-split form) — the trial-boundary decode of the array-native
+    loop, and the scalar-oracle decode of the divergence watchdog."""
+    rows = range(len(batch)) if indices is None else indices
+    return [
+        Schedule(
+            splits={
+                name: DimSplit(warp=int(batch.warp[i, j]), seq=int(batch.seq[i, j]))
+                for j, name in enumerate(names)
+            },
+            reduce_stage=int(batch.reduce_stage[i]),
+            double_buffer=bool(batch.double_buffer[i]),
+            unroll=int(batch.unroll[i]),
+            vectorize=int(batch.vectorize[i]),
+        )
+        for i in rows
+    ]
 
 
 @dataclass(frozen=True, eq=False)

@@ -110,10 +110,20 @@ class Schedule:
         )
 
     def describe(self) -> str:
+        # Memoized: the string is the schedule half of every memo key,
+        # GA dedup key and jitter key, so the same immutable schedule is
+        # described many times per tune.  The cache rides the instance
+        # __dict__ (present even on frozen dataclasses) and is invisible
+        # to dataclass equality/repr, which only look at fields.
+        cached = self.__dict__.get("_describe")
+        if cached is not None:
+            return cached
         parts = [
             f"{name}: warp={s.warp} seq={s.seq}" for name, s in sorted(self.splits.items())
         ]
         parts.append(f"reduce_stage={self.reduce_stage}")
         parts.append(f"double_buffer={self.double_buffer}")
         parts.append(f"unroll={self.unroll} vectorize={self.vectorize}")
-        return "; ".join(parts)
+        rendered = "; ".join(parts)
+        object.__setattr__(self, "_describe", rendered)
+        return rendered

@@ -34,6 +34,7 @@ from repro.schedule.features import (
     MappingFeatures,
     ScheduleBatch,
     derive_batch,
+    render_describes,
 )
 from repro.sim.timing import _jitter_factor
 
@@ -155,8 +156,14 @@ def batch_simulate(
     jitter_factors = np.ones(n)
     if jitter:
         prefix = features.describe_prefix
-        for i in np.nonzero(feasible)[0]:
-            key = f"{prefix}|{batch.describes[i]}|{hw.name}"
+        rows = np.nonzero(feasible)[0]
+        # Row-native batches (describes=None) render the describe half of
+        # the jitter key lazily here — only for the feasible rows that
+        # actually reach jitter encoding; object-encoded batches reuse the
+        # strings rendered for memo keys.
+        describes = render_describes(features.spatial_names, batch, rows)
+        for i, text in zip(rows, describes):
+            key = f"{prefix}|{text}|{hw.name}"
             jitter_factors[i] = _jitter_factor(key)
         total_us = total_us * jitter_factors
 

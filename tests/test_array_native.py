@@ -1,0 +1,595 @@
+"""Array-native exploration: the row path vs the object-path oracle.
+
+The GA's native currency is a :class:`ScheduleBatch` plus a mapping-index
+vector; the scalar object loop is kept as a bit-identity *oracle*, not an
+alternative.  These tests enforce the contract end to end:
+
+* ``genetic_search_rows`` returns the same ranked candidates (mapping,
+  describe string, cost — and tie-break order) as ``genetic_search`` for
+  equal (config, seeds, spaces), across seeds;
+* the engine's ``predict_rows`` / ``measure_rows`` equal ``predict_many``
+  / ``measure_many`` bit for bit, memo-hit across entry points, and the
+  row-key scheme is invariant to joint-width padding;
+* a full ``Tuner.tune`` with ``ga_arrays=True`` selects the same best
+  mapping/schedule and produces equivalent manifests (same trials, same
+  cache counters) as ``ga_arrays=False`` for n_workers in {1, 4} on
+  three devices;
+* the divergence watchdog finds zero vectorized-vs-scalar mismatches on
+  the row path, checking the same number of candidates as the object
+  path at rate 1.0;
+* property-based: every row produced by the vectorized ``sample_columns``
+  / ``mutate_columns`` decodes to a schedule the space ``accepts``, on
+  every registered device's intrinsics.
+"""
+
+import dataclasses
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.obs as obs
+from repro.engine import (
+    EvaluationEngine,
+    MemoCache,
+    reset_compile_caches,
+    reset_global_memo,
+)
+from repro.explore.genetic import (
+    Candidate,
+    GAResult,
+    GeneticConfig,
+    genetic_search,
+    genetic_search_rows,
+)
+from repro.explore.random_search import random_search
+from repro.explore.tuner import Tuner, TunerConfig, _encode_rows
+from repro.frontends.operators import make_operator
+from repro.isa.registry import intrinsics_for_target
+from repro.mapping.generation import GenerationOptions, enumerate_mappings
+from repro.mapping.physical import lower_to_physical
+from repro.model.hardware_params import get_hardware
+from repro.schedule.features import ScheduleBatch, schedules_from_rows, take_rows
+from repro.schedule.space import MUTATE_UNIFORMS, ScheduleSpace, default_schedule
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    obs.disable()
+    obs.reset()
+    reset_global_memo()
+    reset_compile_caches()
+    yield
+    obs.disable()
+    obs.reset()
+    reset_global_memo()
+    reset_compile_caches()
+
+
+def _mappings_for(hw, comp, limit=3):
+    physical = [
+        lower_to_physical(m)
+        for intr in intrinsics_for_target(hw.target)
+        for m in enumerate_mappings(comp, intr, GenerationOptions())
+    ]
+    assert physical, f"no mappings of {comp.name} on {hw.target}"
+    return physical[:limit]
+
+
+def _ga_context(hw_name="v100", op="GMM", **params):
+    hw = get_hardware(hw_name)
+    comp = make_operator(op, **(params or dict(m=64, n=64, k=64)))
+    physical = _mappings_for(hw, comp)
+    max_warps = hw.max_warps_per_subcore * hw.subcores_per_core
+    spaces = [ScheduleSpace(pm, max_warps_per_block=max_warps) for pm in physical]
+    seeds = [
+        Candidate(i, default_schedule(pm, max_warps_per_block=max_warps))
+        for i, pm in enumerate(physical)
+    ]
+    return hw, comp, physical, spaces, seeds
+
+
+def _ranked_fingerprint(pairs):
+    return [
+        (c.mapping_index, c.schedule.describe(), cost) for c, cost in pairs
+    ]
+
+
+# ----------------------------------------------------------------------
+# GA: rows vs objects, bit for bit
+# ----------------------------------------------------------------------
+class TestGeneticRowsOracle:
+    def _run_both(self, seed, generations=3, population=8, seeds="default"):
+        hw, comp, physical, spaces, default_seeds = _ga_context()
+        use_seeds = default_seeds if seeds == "default" else seeds
+        cfg = GeneticConfig(population=population, generations=generations, seed=seed)
+
+        rows_gens, objs_gens = [], []
+        with EvaluationEngine(
+            comp, physical, hw, n_workers=1, memo=MemoCache()
+        ) as engine:
+            result = genetic_search_rows(
+                physical,
+                engine.predict_rows,
+                cfg,
+                seeds=use_seeds,
+                spaces=spaces,
+                on_generation=lambda g, f, u: rows_gens.append((g, f, u)),
+            )
+            rows = result.candidates(spaces)
+        with EvaluationEngine(
+            comp, physical, hw, n_workers=1, memo=MemoCache()
+        ) as engine:
+            objs = genetic_search(
+                physical,
+                config=cfg,
+                seeds=use_seeds,
+                spaces=spaces,
+                fitness_many=lambda cs: engine.predict_many(
+                    [(c.mapping_index, c.schedule) for c in cs]
+                ),
+                on_generation=lambda g, f, u: objs_gens.append((g, f, u)),
+            )
+        return result, rows, objs, rows_gens, objs_gens
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_identical_ranking_across_seeds(self, seed):
+        """The ISSUE's core contract: same evaluated set, same costs, same
+        stable tie-break order — not approximately, identically."""
+        _, rows, objs, rows_gens, objs_gens = self._run_both(seed)
+        assert _ranked_fingerprint(rows) == _ranked_fingerprint(objs)
+        # Per-generation telemetry (fitnesses + diversity) agrees too:
+        # both paths walked the same populations in the same order.
+        assert rows_gens == objs_gens
+
+    def test_result_sorted_and_sized(self):
+        result, rows, _, _, _ = self._run_both(seed=5)
+        assert isinstance(result, GAResult)
+        assert len(result) == len(rows)
+        costs = result.costs.tolist()
+        assert costs == sorted(costs)
+        assert result.mapping_index.shape[0] == len(result.batch)
+
+    def test_without_seed_candidates(self):
+        """Fully random initial populations (no injected seeds) follow the
+        same uniform-matrix protocol on both paths."""
+        _, rows, objs, _, _ = self._run_both(seed=2, seeds=())
+        assert _ranked_fingerprint(rows) == _ranked_fingerprint(objs)
+
+    def test_empty_mappings_rejected(self):
+        with pytest.raises(ValueError, match="no mappings"):
+            genetic_search_rows([], lambda mi, b: np.zeros(0))
+
+    def test_space_count_mismatch_rejected(self):
+        _, _, physical, spaces, _ = _ga_context()
+        with pytest.raises(ValueError, match="one schedule space per mapping"):
+            genetic_search_rows(
+                physical, lambda mi, b: np.zeros(len(b)), spaces=spaces[:1]
+            )
+
+    def test_bad_fitness_rows_length_rejected(self):
+        _, _, physical, spaces, seeds = _ga_context()
+        with pytest.raises(ValueError, match="fitness_rows returned"):
+            genetic_search_rows(
+                physical,
+                lambda mi, b: np.zeros(len(b) + 1),
+                GeneticConfig(population=4, generations=1),
+                seeds=seeds,
+                spaces=spaces,
+            )
+
+
+# ----------------------------------------------------------------------
+# Engine row entry points
+# ----------------------------------------------------------------------
+class TestEngineRowPath:
+    def _items(self, hw, comp, physical, count=12):
+        rng = random.Random(17)
+        max_warps = hw.max_warps_per_subcore * hw.subcores_per_core
+        items = []
+        for mi, pm in enumerate(physical):
+            space = ScheduleSpace(pm, max_warps_per_block=max_warps)
+            items += [(mi, space.sample(rng)) for _ in range(count)]
+        rng.shuffle(items)
+        return items
+
+    def test_rows_equal_objects_bitwise(self):
+        hw, comp, physical, _, _ = _ga_context()
+        items = self._items(hw, comp, physical)
+        with EvaluationEngine(
+            comp, physical, hw, n_workers=1, memo=MemoCache()
+        ) as engine:
+            mi_arr, batch = _encode_rows(engine, items)
+            row_pred = engine.predict_rows(mi_arr, batch)
+            row_p, row_m = engine.measure_rows(mi_arr, batch)
+        with EvaluationEngine(
+            comp, physical, hw, n_workers=1, memo=MemoCache()
+        ) as engine:
+            obj_pred = engine.predict_many(items)
+            obj_pairs = engine.measure_many(items)
+        assert row_pred.tolist() == obj_pred
+        assert list(zip(row_p.tolist(), row_m.tolist())) == obj_pairs
+
+    def test_row_keys_invariant_to_joint_padding(self):
+        """A schedule's memo key must not depend on which batch it rides
+        in: padding the batch with extra identity-split columns (as a
+        joint population does for narrower mappings) keeps keys equal."""
+        hw, comp, physical, _, _ = _ga_context()
+        items = self._items(hw, comp, physical, count=4)
+        with EvaluationEngine(
+            comp, physical, hw, n_workers=1, memo=MemoCache()
+        ) as engine:
+            mi_arr, batch = _encode_rows(engine, items)
+            pad = np.ones((len(batch), 2), dtype=np.int64)
+            padded = ScheduleBatch(
+                warp=np.hstack([batch.warp, pad]),
+                seq=np.hstack([batch.seq, pad]),
+                reduce_stage=batch.reduce_stage,
+                double_buffer=batch.double_buffer,
+                unroll=batch.unroll,
+                vectorize=batch.vectorize,
+            )
+            assert engine.row_keys(mi_arr, batch) == engine.row_keys(mi_arr, padded)
+
+    def test_rows_and_objects_share_the_memo(self):
+        """Row keys and describe keys address the same logical candidate:
+        a predict_rows pass re-served from a warm memo computes nothing
+        new and still returns the same bits."""
+        hw, comp, physical, _, _ = _ga_context()
+        items = self._items(hw, comp, physical, count=6)
+        obs.enable()
+        with EvaluationEngine(
+            comp, physical, hw, n_workers=1, memo=MemoCache()
+        ) as engine:
+            mi_arr, batch = _encode_rows(engine, items)
+            first = engine.predict_rows(mi_arr, batch)
+            before = obs.get_registry().counter("engine.cache.miss").value
+            second = engine.predict_rows(mi_arr, batch)
+            after = obs.get_registry().counter("engine.cache.miss").value
+        assert first.tolist() == second.tolist()
+        assert after == before  # all hits on the warm pass
+
+    def test_pooled_rows_equal_inline_rows(self):
+        hw, comp, physical, _, _ = _ga_context()
+        items = self._items(hw, comp, physical, count=10)
+        with EvaluationEngine(
+            comp, physical, hw, n_workers=1, memo=MemoCache()
+        ) as engine:
+            mi_arr, batch = _encode_rows(engine, items)
+            inline = engine.measure_rows(mi_arr, batch)
+        with EvaluationEngine(
+            comp, physical, hw, n_workers=4, min_pool_batch=1, memo=MemoCache()
+        ) as engine:
+            mi_arr, batch = _encode_rows(engine, items)
+            pooled = engine.measure_rows(mi_arr, batch)
+        assert inline[0].tolist() == pooled[0].tolist()
+        assert inline[1].tolist() == pooled[1].tolist()
+
+    def test_row_watchdog_zero_mismatches(self):
+        """Full-rate divergence watchdog on the row path: every vectorized
+        row re-checked through the scalar oracle, zero mismatches."""
+        hw, comp, physical, _, _ = _ga_context()
+        items = self._items(hw, comp, physical, count=8)
+        obs.enable()
+        with EvaluationEngine(
+            comp,
+            physical,
+            hw,
+            n_workers=1,
+            memo=MemoCache(),
+            vectorized=True,
+            divergence_rate=1.0,
+        ) as engine:
+            mi_arr, batch = _encode_rows(engine, items)
+            engine.measure_rows(mi_arr, batch)
+        registry = obs.get_registry()
+        assert registry.counter("engine.divergence.checked").value == len(items)
+        assert registry.counter("engine.divergence.mismatched").value == 0.0
+
+
+# ----------------------------------------------------------------------
+# Tuner: ga_arrays=True vs the object oracle — equivalent manifests
+# ----------------------------------------------------------------------
+QUICK = dict(
+    population=8,
+    generations=3,
+    measure_top=8,
+    prefilter_mappings=8,
+    refine_rounds=1,
+    refine_neighbors=4,
+)
+
+DEVICES = [
+    ("v100", dict(m=64, n=64, k=64)),
+    ("mali_g76", dict(m=32, n=32, k=32)),
+    ("xeon_4110", dict(m=32, n=32, k=32)),
+]
+
+
+def _manifest(result):
+    """Everything a run manifest derives from: best candidate, funnel
+    width, and every trial's (mapping, schedule, predicted, measured)."""
+    return {
+        "best_us": result.best_us,
+        "best_mapping": result.best.physical.compute.describe(),
+        "best_schedule": result.best.schedule.describe(),
+        "num_mappings": result.num_mappings,
+        "trials": [
+            (
+                t.mapping_index,
+                t.scheduled.schedule.describe(),
+                t.predicted_us,
+                t.measured_us,
+            )
+            for t in result.trials
+        ],
+    }
+
+
+def _tune(hw_name, params, **overrides):
+    reset_global_memo()
+    config = TunerConfig(n_workers=1, **QUICK)
+    config = dataclasses.replace(config, **overrides)
+    return Tuner(get_hardware(hw_name), config).tune(
+        make_operator("GMM", **params)
+    )
+
+
+class TestTunerGaArrays:
+    @pytest.mark.parametrize("hw_name,params", DEVICES)
+    def test_identity_on_three_devices(self, hw_name, params):
+        arrays = _tune(hw_name, params, ga_arrays=True)
+        objects = _tune(hw_name, params, ga_arrays=False)
+        assert _manifest(arrays) == _manifest(objects)
+
+    @pytest.mark.parametrize("n_workers", [1, 4])
+    def test_identity_for_worker_counts(self, n_workers):
+        """ga_arrays and n_workers are execution knobs: any combination
+        produces the byte-identical tune result."""
+        hw_name, params = DEVICES[0]
+        arrays = _tune(
+            hw_name, params, ga_arrays=True, n_workers=n_workers, min_pool_batch=1
+        )
+        objects = _tune(
+            hw_name, params, ga_arrays=False, n_workers=n_workers, min_pool_batch=1
+        )
+        baseline = _tune(hw_name, params, ga_arrays=True)
+        assert _manifest(arrays) == _manifest(objects) == _manifest(baseline)
+
+    def test_cache_counters_equivalent(self):
+        """Equivalent manifests includes the cache telemetry: the row-keyed
+        memo serves exactly the hits/misses the describe-keyed memo does
+        (prefilter rows seed the entries the GA's seeds re-hit)."""
+        counters = {}
+        for ga_arrays in (True, False):
+            obs.reset()
+            obs.enable()
+            _tune("v100", DEVICES[0][1], ga_arrays=ga_arrays)
+            registry = obs.get_registry()
+            counters[ga_arrays] = (
+                registry.counter("engine.cache.hit").value,
+                registry.counter("engine.cache.miss").value,
+                registry.counter("model.predictions").value,
+                registry.counter("tuner.measurements").value,
+            )
+            obs.disable()
+        assert counters[True] == counters[False]
+
+    @pytest.mark.parametrize("rate", [0.0, 1.0])
+    def test_watchdog_parity_across_modes(self, rate):
+        """At the pinned rates (crc32 sampling is keyed differently on the
+        two paths, so only 0.0 and 1.0 compare) the watchdog checks the
+        same number of candidates in both modes and never mismatches."""
+        checked = {}
+        for ga_arrays in (True, False):
+            obs.reset()
+            obs.enable()
+            _tune(
+                "v100", DEVICES[0][1], ga_arrays=ga_arrays, divergence_rate=rate
+            )
+            registry = obs.get_registry()
+            checked[ga_arrays] = registry.counter("engine.divergence.checked").value
+            assert registry.counter("engine.divergence.mismatched").value == 0.0
+            obs.disable()
+        assert checked[True] == checked[False]
+        if rate == 1.0:
+            assert checked[True] > 0
+
+
+# ----------------------------------------------------------------------
+# Property: vectorized column ops stay inside the space
+# ----------------------------------------------------------------------
+PROPERTY_CASES = [
+    ("v100", "GMM", dict(m=64, n=64, k=64)),
+    ("a100", "GMM", dict(m=128, n=64, k=64)),
+    ("xeon_4110", "GMM", dict(m=32, n=32, k=32)),
+    ("mali_g76", "GMM", dict(m=32, n=32, k=32)),
+    ("axpy_accel", "C3D", dict(n=1, c=4, k=4, d=4, h=6, w=6, t=2, r=2, s=2)),
+    ("gemv_accel", "GMV", dict(m=64, k=64)),
+    ("conv_accel", "C3D", dict(n=1, c=4, k=4, d=4, h=6, w=6, t=2, r=2, s=2)),
+]
+
+_SPACE_CACHE = {}
+
+
+def _space_for(case):
+    if case not in _SPACE_CACHE:
+        hw_name, op, params = PROPERTY_CASES[case]
+        hw = get_hardware(hw_name)
+        comp = make_operator(op, **params)
+        pm = _mappings_for(hw, comp, limit=1)[0]
+        _SPACE_CACHE[case] = ScheduleSpace(
+            pm,
+            max_warps_per_block=hw.max_warps_per_subcore * hw.subcores_per_core,
+        )
+    return _SPACE_CACHE[case]
+
+
+class TestColumnOpsStayInSpace:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        case=st.integers(0, len(PROPERTY_CASES) - 1),
+        seed=st.integers(0, 10_000),
+        rows=st.integers(1, 8),
+    )
+    def test_sampled_and_mutated_rows_are_accepted(self, case, seed, rows):
+        """Every intrinsic kind (wmma, AVX-512, Mali dot, vaxpy, vgemv,
+        vconv): vectorized samples and their mutations all decode to
+        schedules inside the space's drawing domains."""
+        space = _space_for(case)
+        rng = np.random.default_rng(seed)
+        u = rng.random((rows, space.uniforms_per_sample))
+        warp, seq, stage, db, un, ve = space.sample_columns(u)
+        batch = ScheduleBatch(
+            warp=warp,
+            seq=seq,
+            reduce_stage=stage,
+            double_buffer=db,
+            unroll=un,
+            vectorize=ve,
+        )
+        for schedule in schedules_from_rows(space.spatial_names, batch):
+            assert space.accepts(schedule)
+        mu = rng.random((rows, MUTATE_UNIFORMS))
+        warp, seq, stage, db, un, ve = space.mutate_columns(
+            batch.warp,
+            batch.seq,
+            batch.reduce_stage,
+            batch.double_buffer,
+            batch.unroll,
+            batch.vectorize,
+            mu,
+        )
+        mutated = ScheduleBatch(
+            warp=warp,
+            seq=seq,
+            reduce_stage=stage,
+            double_buffer=db,
+            unroll=un,
+            vectorize=ve,
+        )
+        for schedule in schedules_from_rows(space.spatial_names, mutated):
+            assert space.accepts(schedule)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        case=st.integers(0, len(PROPERTY_CASES) - 1),
+        seed=st.integers(0, 10_000),
+        rows=st.integers(1, 6),
+    )
+    def test_column_ops_match_scalar_twins(self, case, seed, rows):
+        """The vectorized decoders and their scalar twins read the same
+        uniform rows to the same schedules — the protocol underneath
+        every bit-identity claim in this file."""
+        space = _space_for(case)
+        rng = np.random.default_rng(seed)
+        u = rng.random((rows, space.uniforms_per_sample))
+        warp, seq, stage, db, un, ve = space.sample_columns(u)
+        batch = ScheduleBatch(
+            warp=warp,
+            seq=seq,
+            reduce_stage=stage,
+            double_buffer=db,
+            unroll=un,
+            vectorize=ve,
+        )
+        vec = schedules_from_rows(space.spatial_names, batch)
+        for i in range(rows):
+            scalar = space.sample_with_uniforms(u[i])
+            assert vec[i].describe() == scalar.describe()
+        mu = rng.random((rows, MUTATE_UNIFORMS))
+        warp, seq, stage, db, un, ve = space.mutate_columns(
+            batch.warp,
+            batch.seq,
+            batch.reduce_stage,
+            batch.double_buffer,
+            batch.unroll,
+            batch.vectorize,
+            mu,
+        )
+        mutated = ScheduleBatch(
+            warp=warp,
+            seq=seq,
+            reduce_stage=stage,
+            double_buffer=db,
+            unroll=un,
+            vectorize=ve,
+        )
+        vec_mut = schedules_from_rows(space.spatial_names, mutated)
+        for i in range(rows):
+            scalar = space.mutate_with_uniforms(vec[i], mu[i])
+            assert vec_mut[i].describe() == scalar.describe()
+
+
+# ----------------------------------------------------------------------
+# Satellites: describe memo, random_search fitness_many
+# ----------------------------------------------------------------------
+class TestDescribeMemo:
+    def test_describe_is_rendered_once(self):
+        hw, comp, physical, spaces, _ = _ga_context()
+        schedule = spaces[0].sample(random.Random(1))
+        first = schedule.describe()
+        assert schedule.describe() is first  # memoized, not re-rendered
+
+    def test_memo_survives_and_matches_fresh_render(self):
+        hw, comp, physical, spaces, _ = _ga_context()
+        schedule = spaces[0].sample(random.Random(2))
+        twin = dataclasses.replace(schedule)
+        assert schedule.describe() == twin.describe()
+
+
+class TestRandomSearchFitnessMany:
+    def _setup(self):
+        hw, comp, physical, spaces, _ = _ga_context()
+        return hw, comp, physical
+
+    def test_batch_path_matches_scalar_path(self):
+        hw, comp, physical = self._setup()
+        with EvaluationEngine(
+            comp, physical, hw, n_workers=1, memo=MemoCache()
+        ) as engine:
+            scalar = random_search(
+                physical,
+                fitness=lambda c: engine.predict_many(
+                    [(c.mapping_index, c.schedule)]
+                )[0],
+                trials=24,
+                seed=9,
+            )
+        with EvaluationEngine(
+            comp, physical, hw, n_workers=1, memo=MemoCache()
+        ) as engine:
+            batched = random_search(
+                physical,
+                trials=24,
+                seed=9,
+                fitness_many=lambda cs: engine.predict_many(
+                    [(c.mapping_index, c.schedule) for c in cs]
+                ),
+            )
+        assert _ranked_fingerprint(scalar) == _ranked_fingerprint(batched)
+
+    def test_fitness_many_called_once(self):
+        _, _, physical = self._setup()
+        calls = []
+
+        def fitness_many(cs):
+            calls.append(len(cs))
+            return [float(i) for i in range(len(cs))]
+
+        random_search(physical, trials=16, seed=0, fitness_many=fitness_many)
+        assert calls == [16]
+
+    def test_length_validation(self):
+        _, _, physical = self._setup()
+        with pytest.raises(ValueError, match="fitness_many returned"):
+            random_search(
+                physical, trials=4, seed=0, fitness_many=lambda cs: [0.0]
+            )
+
+    def test_requires_an_evaluator(self):
+        _, _, physical = self._setup()
+        with pytest.raises(ValueError, match="fitness or fitness_many"):
+            random_search(physical, trials=4)

@@ -39,6 +39,51 @@ class TestParsing:
         assert "repro compile" in err  # usage names the failing subcommand
 
 
+class TestTuningFlagBounds:
+    def test_defaults(self):
+        args = build_parser().parse_args(
+            ["compile", "GMM", "--params", "m=64", "n=64", "k=64"]
+        )
+        assert args.elite_fraction == 0.25
+        assert args.mapping_mutation_prob == 0.15
+
+    def test_valid_values_accepted(self):
+        args = build_parser().parse_args([
+            "compile", "GMM", "--params", "m=64", "n=64", "k=64",
+            "--elite-fraction", "0.5", "--mapping-mutation-prob", "0.0",
+        ])
+        assert args.elite_fraction == 0.5
+        assert args.mapping_mutation_prob == 0.0
+
+    def test_elite_fraction_zero_rejected(self, capsys):
+        # (0, 1]: an elite fraction of zero would leave no parents at all.
+        with pytest.raises(SystemExit) as exc:
+            main([
+                "compile", "GMM", "--params", "m=64", "n=64", "k=64",
+                "--elite-fraction", "0.0",
+            ])
+        assert exc.value.code == 2
+        assert "not in (0, 1]" in capsys.readouterr().err
+
+    def test_mutation_prob_above_one_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([
+                "compile", "GMM", "--params", "m=64", "n=64", "k=64",
+                "--mapping-mutation-prob", "1.5",
+            ])
+        assert exc.value.code == 2
+        assert "not in [0, 1]" in capsys.readouterr().err
+
+    def test_non_numeric_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([
+                "compile", "GMM", "--params", "m=64", "n=64", "k=64",
+                "--elite-fraction", "lots",
+            ])
+        assert exc.value.code == 2
+        assert "not a number" in capsys.readouterr().err
+
+
 class TestCommands:
     def test_list_hardware(self, capsys):
         assert main(["list-hardware"]) == 0
