@@ -17,10 +17,19 @@ Subcommands:
   per-worker lanes) and prints the human-readable report (span timings,
   mapping funnel, GA convergence, model-vs-simulator rank accuracy).
 * ``report TRACE`` — re-render the report of a saved JSONL trace.
-* ``report --compare BASELINE CURRENT`` — diff two flight-recorder run
-  sets (directories of ``run_*.json`` manifests written via
-  ``--run-dir``); exits non-zero when latency / throughput / model
-  accuracy drift beyond thresholds — the CI regression gate.
+* ``report --compare BASELINE CURRENT [--history N]`` — diff two
+  flight-recorder run sets (directories of ``run_*.json`` manifests
+  written via ``--run-dir``, or a telemetry-warehouse corpus on the
+  baseline side); exits non-zero when latency / throughput / model
+  accuracy drift beyond thresholds — the CI regression gate.  With
+  ``--history N`` the last N baseline runs per series additionally feed
+  a robust (median-of-slopes) trend detector that flags slow monotone
+  drifts no single pairwise step would catch.
+* ``corpus ingest|stats|trend|attribution|export`` — the telemetry
+  warehouse: ingest run directories into an append-only indexed corpus,
+  then query per-series best-latency / rank-accuracy trajectories,
+  wall-time attribution with critical-path aggregation, and flat
+  CSV/JSON exports.
 
 Every tuning entry point accepts ``--run-dir`` (write a RunRecord
 manifest per compile), ``--divergence-rate`` (sample vectorized engine
@@ -41,6 +50,8 @@ from pathlib import Path
 from typing import Sequence
 
 import repro.obs as obs
+from repro.obs import analytics as _analytics
+from repro.obs.warehouse import STORE_NAME, Warehouse
 from repro.compiler import amos_compile
 from repro.evaluation import AmosBackend, evaluate_network
 from repro.explore.tuner import TunerConfig
@@ -298,22 +309,36 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _load_run_side(path: str) -> list[obs.RunRecord]:
+    """Runs from a manifest dir / single manifest — or, when the path is
+    a telemetry-warehouse corpus, every run in it, so ``--history``
+    windows can span the full archive instead of one CI artifact."""
+    if (Path(path) / STORE_NAME).is_file():
+        warehouse = Warehouse(path)
+        return [warehouse.get(run_id) for run_id in warehouse.run_ids()]
+    return obs.load_runs(path)
+
+
 def _compare_runs(args) -> int:
     """Diff two run sets; non-zero exit on regressions (the CI gate)."""
     baseline_path, current_path = args.compare
-    baseline = obs.load_runs(baseline_path)
-    current = obs.load_runs(current_path)
+    baseline = _load_run_side(baseline_path)
+    current = _load_run_side(current_path)
     if not baseline:
         args.parser.error(f"no runs loaded from baseline {baseline_path!r}")
     if not current:
         args.parser.error(f"no runs loaded from current {current_path!r}")
+    if args.history < 1:
+        args.parser.error("--history must be >= 1")
     thresholds = obs.CompareThresholds(
         max_latency_increase=args.max_latency_increase,
         max_throughput_drop=args.max_throughput_drop,
         max_accuracy_drop=args.max_accuracy_drop,
         ignore=tuple(args.ignore),
     )
-    report = obs.compare_runs(baseline, current, thresholds)
+    report = obs.compare_runs_with_history(
+        baseline, current, thresholds, history=args.history
+    )
     print(obs.render_comparison(report))
     return 1 if report["regressions"] else 0
 
@@ -325,6 +350,106 @@ def _cmd_watch(args) -> int:
         validate=args.validate,
         interval_s=args.interval,
     )
+
+
+# ----------------------------------------------------------------------
+# The telemetry warehouse: `repro corpus ...`
+# ----------------------------------------------------------------------
+def _open_corpus(args) -> Warehouse:
+    """Open an existing corpus for querying; a clear error (not an empty
+    answer, not a freshly created empty store) when there is none."""
+    if not (Path(args.corpus) / STORE_NAME).is_file():
+        args.parser.error(
+            f"no corpus at {args.corpus!r} (create one with "
+            "`repro corpus ingest <run-dir> --corpus "
+            f"{args.corpus}`)"
+        )
+    return Warehouse(args.corpus)
+
+
+def _cmd_corpus_ingest(args) -> int:
+    warehouse = Warehouse(args.corpus)
+    for run_dir in args.run_dirs:
+        try:
+            report = warehouse.ingest(run_dir)
+        except FileNotFoundError as exc:
+            args.parser.error(str(exc))
+        print(_analytics.render_ingest_report(report.to_dict()))
+    print(
+        f"corpus {args.corpus}: {len(warehouse)} run(s) across "
+        f"{len(warehouse.series_keys())} series"
+    )
+    return 0
+
+
+def _cmd_corpus_stats(args) -> int:
+    warehouse = _open_corpus(args)
+    stats = warehouse.stats()
+    if args.json:
+        print(_analytics.to_json(stats), end="")
+    else:
+        print(_analytics.render_corpus_stats(stats))
+    if args.check:
+        problems = warehouse.check()
+        if problems:
+            print(f"corpus check: {len(problems)} problem(s)")
+            for problem in problems[:20]:
+                print(f"  {problem}")
+            return 1
+        print(f"corpus check: {len(warehouse)} run(s), store and index consistent")
+    return 0
+
+
+def _cmd_corpus_trend(args) -> int:
+    warehouse = _open_corpus(args)
+    rows = obs.series_trends(
+        warehouse,
+        metric=args.metric,
+        operator=args.operator,
+        hardware=args.hardware,
+        window=args.window,
+    )
+    if args.json:
+        print(_analytics.to_json(rows), end="")
+    else:
+        print(_analytics.render_trends(rows, args.metric))
+    return 0
+
+
+def _cmd_corpus_attribution(args) -> int:
+    warehouse = _open_corpus(args)
+    runs = warehouse.query(operator=args.operator, hardware=args.hardware)
+    phases = obs.phase_attribution(runs)
+    paths = obs.aggregate_critical_paths(runs)
+    if args.json:
+        print(
+            _analytics.to_json({"phases": phases, "critical_paths": paths}),
+            end="",
+        )
+    else:
+        print(_analytics.render_attribution(phases, paths))
+    return 0
+
+
+def _cmd_corpus_export(args) -> int:
+    warehouse = _open_corpus(args)
+    rows = obs.corpus_rows(
+        warehouse, operator=args.operator, hardware=args.hardware
+    )
+    if args.csv is None and args.json is None:
+        args.parser.error("corpus export needs --csv or --json")
+    text = (
+        _analytics.rows_to_csv(rows)
+        if args.csv is not None
+        else _analytics.to_json(rows)
+    )
+    destination = args.csv if args.csv is not None else args.json
+    if destination == "-":
+        print(text, end="")
+    else:
+        Path(destination).write_text(text)
+        print(f"wrote {len(rows)} run row(s) to {destination}")
+    return 0
 
 
 def _add_tuning_flags(p: argparse.ArgumentParser) -> None:
@@ -516,7 +641,121 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip a comparison metric (repeatable); CI ignores "
         "throughput because wall-clock rates are machine-dependent",
     )
+    p.add_argument(
+        "--history",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --compare: also fit a robust trend over the last N "
+        "baseline runs per series and flag drifts beyond the same "
+        "thresholds (1 = pairwise gate only, the default; point the "
+        "baseline at a `repro corpus` directory for deep windows)",
+    )
     p.set_defaults(func=_cmd_report, parser=p)
+
+    p = sub.add_parser(
+        "corpus",
+        help="telemetry warehouse: ingest flight-recorder run dirs into "
+        "an indexed cross-run corpus and query trends/attribution",
+    )
+    corpus_sub = p.add_subparsers(dest="corpus_command", required=True)
+
+    def _corpus_common(cp: argparse.ArgumentParser) -> None:
+        cp.add_argument(
+            "--corpus",
+            default="corpus",
+            metavar="DIR",
+            help="warehouse directory (default ./corpus)",
+        )
+        cp.set_defaults(parser=cp)
+
+    cp = corpus_sub.add_parser(
+        "ingest",
+        help="append new run manifests (and their event streams) from "
+        "run directories; idempotent — known runs are skipped untouched",
+    )
+    cp.add_argument(
+        "run_dirs",
+        nargs="+",
+        metavar="RUN_DIR",
+        help="flight-recorder directories (or single run_*.json manifests)",
+    )
+    _corpus_common(cp)
+    cp.set_defaults(func=_cmd_corpus_ingest)
+
+    cp = corpus_sub.add_parser(
+        "stats", help="corpus summary from the index alone (no re-parsing)"
+    )
+    _corpus_common(cp)
+    cp.add_argument(
+        "--check",
+        action="store_true",
+        help="full integrity scan: store/index consistency, per-run "
+        "schema; non-zero exit on problems (the CI schema gate)",
+    )
+    cp.add_argument("--json", action="store_true", help="machine-readable output")
+    cp.set_defaults(func=_cmd_corpus_stats)
+
+    cp = corpus_sub.add_parser(
+        "trend",
+        help="per-series trajectories with a median-of-slopes trend "
+        "verdict (best latency, rank accuracy, cache hit rate)",
+    )
+    _corpus_common(cp)
+    cp.add_argument(
+        "--metric",
+        default="latency",
+        choices=sorted(_analytics.TREND_METRICS),
+        help="which per-run value to track (default latency)",
+    )
+    cp.add_argument("--operator", help="restrict to one operator")
+    cp.add_argument("--hardware", help="restrict to one device")
+    cp.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only the last N runs per series (default: all)",
+    )
+    cp.add_argument("--json", action="store_true", help="machine-readable output")
+    cp.set_defaults(func=_cmd_corpus_trend)
+
+    cp = corpus_sub.add_parser(
+        "attribution",
+        help="corpus-wide wall-time attribution: phase self-time ranking "
+        "and aggregated critical paths (which stage bounds tune time)",
+    )
+    _corpus_common(cp)
+    cp.add_argument("--operator", help="restrict to one operator")
+    cp.add_argument("--hardware", help="restrict to one device")
+    cp.add_argument("--json", action="store_true", help="machine-readable output")
+    cp.set_defaults(func=_cmd_corpus_attribution)
+
+    cp = corpus_sub.add_parser(
+        "export",
+        help="flatten the corpus to one row per run (CSV or JSON) — the "
+        "table trend dashboards and learned cost models consume",
+    )
+    _corpus_common(cp)
+    cp.add_argument("--operator", help="restrict to one operator")
+    cp.add_argument("--hardware", help="restrict to one device")
+    cp.add_argument(
+        "--csv",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="write CSV to PATH ('-' or no value: stdout)",
+    )
+    cp.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="write JSON to PATH ('-' or no value: stdout)",
+    )
+    cp.set_defaults(func=_cmd_corpus_export)
 
     p = sub.add_parser(
         "watch",

@@ -64,11 +64,19 @@ class MemoCache:
         self._lock = threading.Lock()
 
     def _put(self, table: dict[str | bytes, float], key: str | bytes, value: float) -> None:
+        evicted = 0
         with self._lock:
             if key not in table and len(table) >= self.max_entries:
                 for oldest in list(table)[: max(1, self.max_entries // 10)]:
                     del table[oldest]
+                    evicted += 1
             table[key] = value
+        if evicted:
+            # Outside the lock: a memo under eviction pressure looks like a
+            # healthy cache in hit/miss terms while silently re-evaluating
+            # its working set, so evictions are a first-class counter that
+            # the flight recorder and corpus cache timelines surface.
+            _obs_metrics.counter("engine.cache.evictions").inc(evicted)
 
     # Reads take the same lock as _put: the eviction loop deletes keys,
     # and a lock-free reader could otherwise race it (dict mutation

@@ -14,13 +14,30 @@ Three layers, all zero-dependency and near-free when disabled:
   (via ``TunerConfig.run_dir``) and the ``compare_runs`` regression
   tracker behind ``python -m repro report --compare``;
 * :mod:`repro.obs.chrome_trace` — Chrome-trace/Perfetto export of the
-  merged span timeline, one lane per pool worker.
+  merged span timeline, one lane per pool worker;
+* :mod:`repro.obs.warehouse` — the telemetry warehouse: an append-only,
+  indexed corpus over every run manifest and event stream, queryable by
+  (operator, hardware, budget) series without re-parsing;
+* :mod:`repro.obs.analytics` — longitudinal analytics over the corpus:
+  Theil–Sen trend detection, the history-aware regression gate behind
+  ``report --compare --history N``, wall-time attribution and
+  critical-path aggregation (``python -m repro corpus``).
 
 Everything is off by default.  ``enable()`` flips one module-global
 switch; instrumented hot paths pay one global check when it is off, so
 compilation results are bit-identical with obs enabled or disabled.
 """
 
+from repro.obs.analytics import (
+    aggregate_critical_paths,
+    cache_timeline,
+    compare_runs_with_history,
+    corpus_rows,
+    detect_trend,
+    phase_attribution,
+    series_trends,
+    theil_sen,
+)
 from repro.obs.chrome_trace import chrome_trace_events, export_chrome_trace
 from repro.obs.events import (
     EVENT_SCHEMA,
@@ -51,6 +68,7 @@ from repro.obs.live import (
 from repro.obs.logging import (
     StructuredLogger,
     configure_logging,
+    flush_suppressed,
     get_logger,
     log_level,
     set_log_level,
@@ -81,6 +99,8 @@ from repro.obs.trace import (
     Tracer,
     aggregate_spans,
     clock_offset_s,
+    critical_path,
+    critical_paths_by_lane,
     current_span_id,
     disable_tracing,
     enable_tracing,
@@ -90,6 +110,7 @@ from repro.obs.trace import (
     tracing,
     tracing_enabled,
 )
+from repro.obs.warehouse import IngestReport, Warehouse
 
 __all__ = [
     "CompareThresholds",
@@ -106,6 +127,7 @@ __all__ = [
     "HealthConfig",
     "HealthMonitor",
     "Histogram",
+    "IngestReport",
     "JsonlSink",
     "MetricsRegistry",
     "RunRecord",
@@ -113,16 +135,24 @@ __all__ = [
     "StructuredLogger",
     "Tracer",
     "WatchState",
+    "Warehouse",
     "active_recorder",
+    "aggregate_critical_paths",
     "aggregate_spans",
     "attach_health_monitor",
+    "cache_timeline",
     "chrome_trace_events",
     "clock_offset_s",
     "compare_runs",
+    "compare_runs_with_history",
     "configure_logging",
+    "corpus_rows",
     "counter",
+    "critical_path",
+    "critical_paths_by_lane",
     "current_log",
     "current_span_id",
+    "detect_trend",
     "disable",
     "disable_events",
     "emit",
@@ -132,6 +162,7 @@ __all__ = [
     "events_enabled",
     "export_chrome_trace",
     "export_jsonl",
+    "flush_suppressed",
     "gauge",
     "get_bus",
     "get_logger",
@@ -142,15 +173,18 @@ __all__ = [
     "load_jsonl",
     "load_runs",
     "log_level",
+    "phase_attribution",
     "render_comparison",
     "render_dashboard",
     "render_report",
     "reset",
     "reset_events",
+    "series_trends",
     "set_log_level",
     "set_log_stream",
     "span",
     "subscribe_events",
+    "theil_sen",
     "traced",
     "tracing",
     "use_log",

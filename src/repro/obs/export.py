@@ -15,7 +15,7 @@ from pathlib import Path
 from typing import Any, Sequence, TextIO
 
 from repro.obs.explore_log import ExploreLog, FUNNEL_STAGES
-from repro.obs.trace import Span, aggregate_spans
+from repro.obs.trace import Span, aggregate_spans, critical_path
 
 __all__ = [
     "export_jsonl",
@@ -224,6 +224,12 @@ def _engine_section(metrics: Sequence[dict[str, Any]]) -> list[str]:
     memo_misses = counters.get("engine.cache.miss", 0.0)
     if memo_hits or memo_misses:
         lines.append(f"  memo cache hit rate:     {rate(memo_hits, memo_misses)}")
+    evictions = counters.get("engine.cache.evictions", 0.0)
+    if evictions:
+        lines.append(
+            f"  memo cache evictions:    {int(evictions)} "
+            "(working set exceeds capacity; hit rate understates re-evaluation)"
+        )
     cc_hits = counters.get("engine.compile_cache.hit", 0.0)
     cc_misses = counters.get("engine.compile_cache.miss", 0.0)
     if cc_hits or cc_misses:
@@ -261,6 +267,23 @@ def _engine_section(metrics: Sequence[dict[str, Any]]) -> list[str]:
     return lines
 
 
+def _critical_path_section(span_dicts: Sequence[dict[str, Any]]) -> list[str]:
+    """The heaviest-child chain through the span tree: which stages
+    actually bound this run's wall time."""
+    path = critical_path(_spans_from_dicts(span_dicts))
+    if not path:
+        return ["  (no spans recorded)"]
+    lines = []
+    for depth, entry in enumerate(path):
+        lane = f" [lane {entry['lane']}]" if "lane" in entry else ""
+        lines.append(
+            f"  {'  ' * depth}{entry['name']}{lane}: "
+            f"{_fmt_us(entry['duration_us'])} "
+            f"(self {_fmt_us(entry['self_us'])})"
+        )
+    return lines
+
+
 def _metrics_section(metrics: Sequence[dict[str, Any]]) -> list[str]:
     if not metrics:
         return ["  (no metrics recorded)"]
@@ -292,6 +315,9 @@ def render_report(data: dict[str, Any]) -> str:
     lines.append("")
     lines.append("-- span timings (wall time per pipeline stage) --")
     lines.extend(_span_section(data.get("spans", [])))
+    lines.append("")
+    lines.append("-- critical path (heaviest span chain) --")
+    lines.extend(_critical_path_section(data.get("spans", [])))
     lines.append("")
     lines.append("-- mapping funnel (Table 6-style counts) --")
     lines.extend(_funnel_section(data.get("funnel")))

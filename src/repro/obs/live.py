@@ -147,9 +147,15 @@ def find_event_stream(source: str | os.PathLike) -> Path:
     if p.is_dir():
         streams = sorted(p.glob("events_*.jsonl"), key=lambda f: f.stat().st_mtime)
         if not streams:
-            raise FileNotFoundError(f"no events_*.jsonl stream under {p}")
+            raise FileNotFoundError(
+                f"no runs/events found: no events_*.jsonl stream under {p} "
+                "(was the run started with --live?)"
+            )
         return streams[-1]
-    raise FileNotFoundError(f"no event stream at {p}")
+    raise FileNotFoundError(
+        f"no runs/events found: {p} is not an event stream, run directory "
+        "or socket endpoint"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -876,6 +882,12 @@ def watch(
             problems.append(f"{skipped} unreadable line(s) skipped")
     state.apply_all(events)
     if once:
+        # CI snapshot mode: an empty stream is a failure, not a blank
+        # dashboard — a green "waiting for run.start" snapshot would hide
+        # a tune that never emitted anything.
+        if not state.events_seen and not state.invalid_events:
+            out(f"watch: no runs/events found in {path} (stream is empty)")
+            return 1
         out(render_dashboard(state))
         return _finish_watch(state, problems, validate, out)
 

@@ -22,7 +22,9 @@ Repeated messages are rate-limited per ``(logger, message)`` key: after
 ``burst`` occurrences inside one ``window_s`` the rest of the window is
 suppressed, and the first record of the next window carries a
 ``suppressed`` count — a hot loop logging the same warning cannot drown
-the stream.
+the stream.  Tallies still pending when the process exits are not lost:
+an ``atexit`` hook (:func:`flush_suppressed`) emits one final summary
+record per (level, message) key, marked ``suppressed_final``.
 
 Records at WARNING and above are additionally republished as ``log``
 events on the telemetry bus (when it is enabled), so dashboards and
@@ -31,11 +33,13 @@ socket subscribers see problems without tailing stderr.
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
 import sys
 import threading
 import time
+import weakref
 from datetime import datetime, timezone
 from typing import Any, TextIO
 
@@ -46,6 +50,7 @@ __all__ = [
     "LEVELS",
     "StructuredLogger",
     "configure_logging",
+    "flush_suppressed",
     "get_logger",
     "log_level",
     "set_log_level",
@@ -66,6 +71,9 @@ _level: int | None = None  # None -> resolve from env / default lazily
 _stream: TextIO | None = None  # None -> sys.stderr at write time
 _lock = threading.Lock()
 _loggers: dict[str, "StructuredLogger"] = {}
+# Every instance, including ones constructed directly (not via
+# get_logger), so the exit flush misses no pending suppressed tallies.
+_instances: "weakref.WeakSet[StructuredLogger]" = weakref.WeakSet()
 
 #: Injectable clock for rate-limiter tests.
 _now_fn = time.time
@@ -147,15 +155,31 @@ class _RateGate:
             state[2] += 1
             return False, 0
 
+    def drain(self) -> dict[str, int]:
+        """Pending suppressed-count tallies per key, zeroing each.
+
+        A count normally surfaces on the first record of the *next*
+        window; at process exit there is no next window, so the exit
+        flush collects whatever is pending here instead.
+        """
+        with self._lock:
+            pending = {}
+            for key, state in self._state.items():
+                if state[2]:
+                    pending[key] = int(state[2])
+                    state[2] = 0
+            return pending
+
 
 class StructuredLogger:
     """One named logger; cheap to hold, safe to share across threads."""
 
-    __slots__ = ("name", "_gate")
+    __slots__ = ("name", "_gate", "__weakref__")
 
     def __init__(self, name: str, burst: int = 5, window_s: float = 10.0):
         self.name = name
         self._gate = _RateGate(burst, window_s)
+        _instances.add(self)
 
     # -- level methods --------------------------------------------------
     def debug(self, msg: str, **fields: Any) -> None:
@@ -177,6 +201,31 @@ class StructuredLogger:
         allowed, suppressed = self._gate.admit(f"{level}:{msg}", now)
         if not allowed:
             return
+        self._emit(level, msg, now, suppressed, fields)
+
+    def flush_suppressed(self) -> None:
+        """Emit one summary record per (level, msg) key whose suppressed
+        tally never surfaced (no next window opened).  Bypasses the rate
+        gate — these records already passed the level filter when they
+        were counted."""
+        for key, count in self._gate.drain().items():
+            level_text, _, msg = key.partition(":")
+            self._emit(
+                int(level_text),
+                msg,
+                _now_fn(),
+                count,
+                {"suppressed_final": True},
+            )
+
+    def _emit(
+        self,
+        level: int,
+        msg: str,
+        now: float,
+        suppressed: int,
+        fields: dict[str, Any],
+    ) -> None:
         record: dict[str, Any] = {
             "ts": datetime.fromtimestamp(now, timezone.utc).isoformat(
                 timespec="milliseconds"
@@ -219,3 +268,18 @@ def get_logger(name: str) -> StructuredLogger:
         if logger is None:
             logger = _loggers[name] = StructuredLogger(name)
         return logger
+
+
+def flush_suppressed() -> None:
+    """Flush pending suppressed-count tallies on every live logger.
+
+    Registered ``atexit``: a run that dies (or simply ends) mid-window
+    would otherwise silently drop the count of rate-limited records —
+    precisely the "how bad was the spam" number post-mortems need.
+    Idempotent; safe to call early (e.g. from tests or a CLI epilogue).
+    """
+    for logger in list(_instances):
+        logger.flush_suppressed()
+
+
+atexit.register(flush_suppressed)

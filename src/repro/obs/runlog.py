@@ -93,6 +93,11 @@ class RunRecord:
     #: the live health monitor; empty on healthy runs and when the event
     #: bus was off.  Additive like ``faults``.
     health: dict[str, float] = field(default_factory=dict)
+    #: Heaviest-child chain through the run's merged span tree (see
+    #: :func:`repro.obs.trace.critical_path`): the stages that bound this
+    #: run's wall time, worker lanes included.  Additive like ``faults``;
+    #: empty when tracing recorded no spans.
+    critical_path: list[dict[str, Any]] = field(default_factory=list)
     model_quality: dict[str, float] = field(default_factory=dict)
     schema: int = RUN_SCHEMA
 
@@ -174,7 +179,11 @@ def load_runs(path: str | os.PathLike) -> list[RunRecord]:
             )
             continue
         records.append(record)
-    records.sort(key=lambda r: r.created_at)
+    # Ties on created_at (second-resolution stamps; concurrent CI shards)
+    # break on run_id so the order is a pure function of the manifest
+    # *contents* — warehouse ingest and `compare_runs`' latest-per-series
+    # rule both depend on this being stable across filesystems.
+    records.sort(key=lambda r: (r.created_at, r.run_id))
     return records
 
 
@@ -189,6 +198,7 @@ _active: ContextVar["FlightRecorder | None"] = ContextVar(
 _CACHE_COUNTERS = {
     "memo_hits": "engine.cache.hit",
     "memo_misses": "engine.cache.miss",
+    "memo_evictions": "engine.cache.evictions",
     "compile_cache_hits": "engine.compile_cache.hit",
     "compile_cache_misses": "engine.compile_cache.miss",
     "pool_tasks": "engine.pool.tasks",
@@ -371,6 +381,7 @@ class FlightRecorder:
             }
             for st in aggregate_spans(spans)
         }
+        critical = _trace.critical_path(spans)
         cache = {
             label: counters.get(metric, 0.0)
             for label, metric in _CACHE_COUNTERS.items()
@@ -412,6 +423,7 @@ class FlightRecorder:
             divergence=divergence,
             faults=faults,
             health=health,
+            critical_path=critical,
             model_quality=quality,
         )
 
@@ -555,6 +567,16 @@ def render_comparison(report: dict[str, Any]) -> str:
             )
     for where in report["unmatched"]:
         lines.append(f"  {where}: no baseline (new coverage)")
+    trends = report.get("trends")
+    if trends:
+        lines.append("")
+        lines.append(f"-- history trends (window {report.get('history', '?')}) --")
+        for trend in trends:
+            lines.append(
+                f"  {trend['metric']:14} at {trend['where']}: "
+                f"{trend['direction']:10} over {trend['window']} run(s) "
+                f"(drift {trend['rel_drift']:+.2%}, limit {trend['limit']:.0%})"
+            )
     if report["regressions"]:
         lines.append("")
         lines.append(f"-- {len(report['regressions'])} regression(s) --")

@@ -35,6 +35,8 @@ __all__ = [
     "Tracer",
     "aggregate_spans",
     "clock_offset_s",
+    "critical_path",
+    "critical_paths_by_lane",
     "current_span_id",
     "disable_tracing",
     "enable_tracing",
@@ -423,3 +425,65 @@ def iter_children(spans: list[Span], parent_id: int | None) -> Iterator[Span]:
     for s in spans:
         if s.parent_id == parent_id:
             yield s
+
+
+def critical_path(spans: list[Span], max_depth: int = 32) -> list[dict[str, Any]]:
+    """Heaviest-child walk through a span tree: the chain of nested spans
+    that actually bounds the wall time of the run.
+
+    Starting from the longest root (a span whose parent is absent from
+    ``spans``), each step descends into the child with the largest
+    duration.  Aggregates like :func:`aggregate_spans` say how much time a
+    *name* consumed in total; the critical path says which single chain of
+    stages an optimiser must shorten before the end-to-end time can move.
+
+    Each entry carries ``name``, ``duration_us``, ``self_us`` (duration
+    minus all children, the slack attributable to this span alone) and,
+    for spans merged home from a pool worker, the worker ``lane``.
+    """
+    if not spans:
+        return []
+    ids = {s.span_id for s in spans}
+    children: dict[int | None, list[Span]] = {}
+    for s in spans:
+        parent = s.parent_id if s.parent_id in ids else None
+        children.setdefault(parent, []).append(s)
+    roots = children.get(None)
+    if not roots:
+        return []
+    path: list[dict[str, Any]] = []
+    node: Span | None = max(roots, key=lambda s: s.duration_us)
+    while node is not None and len(path) < max_depth:
+        kids = children.get(node.span_id, [])
+        child_us = sum(k.duration_us for k in kids)
+        entry: dict[str, Any] = {
+            "name": node.name,
+            "duration_us": node.duration_us,
+            "self_us": max(0.0, node.duration_us - child_us),
+        }
+        if "lane" in node.attrs:
+            entry["lane"] = node.attrs["lane"]
+        path.append(entry)
+        node = max(kids, key=lambda s: s.duration_us) if kids else None
+    return path
+
+
+def critical_paths_by_lane(
+    spans: list[Span], max_depth: int = 32
+) -> dict[int | None, list[dict[str, Any]]]:
+    """Per-lane critical paths from one merged span collection.
+
+    ``Tracer.merge`` tags adopted worker spans with a ``lane`` attribute
+    (parent-process spans carry none); splitting on it answers *which
+    phase bounds each worker's wall time*, not just the parent's.  Lane
+    ``None`` is the parent process.  Lanes with no spans are absent.
+    """
+    by_lane: dict[int | None, list[Span]] = {}
+    for s in spans:
+        by_lane.setdefault(s.attrs.get("lane"), []).append(s)
+    return {
+        lane: critical_path(lane_spans, max_depth)
+        for lane, lane_spans in sorted(
+            by_lane.items(), key=lambda kv: (kv[0] is not None, kv[0] or 0)
+        )
+    }

@@ -25,3 +25,6 @@ test_obs_disabled_overhead_parallel_under_5_percent = (
     _bench.test_obs_disabled_overhead_parallel_under_5_percent
 )
 test_enabled_bus_overhead_reported = _bench.test_enabled_bus_overhead_reported
+test_warehouse_ingest_throughput_quick = (
+    _bench.test_warehouse_ingest_throughput_quick
+)
